@@ -1,0 +1,192 @@
+package dpcpp
+
+import (
+	"math/rand"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/experiments"
+	"dpcpp/internal/model"
+	"dpcpp/internal/partition"
+	"dpcpp/internal/rt"
+	"dpcpp/internal/sim"
+	"dpcpp/internal/taskgen"
+)
+
+// Core model types.
+type (
+	// Time is a duration or instant in nanoseconds.
+	Time = rt.Time
+	// Priority is a base priority; larger means higher.
+	Priority = rt.Priority
+	// TaskID identifies a task.
+	TaskID = rt.TaskID
+	// VertexID identifies a vertex within a task's DAG.
+	VertexID = rt.VertexID
+	// ResourceID identifies a shared resource.
+	ResourceID = rt.ResourceID
+	// ProcID identifies a processor.
+	ProcID = rt.ProcID
+	// Task is a sporadic DAG task.
+	Task = model.Task
+	// Taskset is a set of DAG tasks sharing resources and processors.
+	Taskset = model.Taskset
+	// Path is one complete path through a task's DAG.
+	Path = model.Path
+)
+
+// Time units re-exported for fixture building.
+const (
+	Nanosecond  = rt.Nanosecond
+	Microsecond = rt.Microsecond
+	Millisecond = rt.Millisecond
+	Second      = rt.Second
+)
+
+// NewTaskset returns an empty taskset for m processors and nr resources.
+func NewTaskset(m, nr int) *Taskset { return model.NewTaskset(m, nr) }
+
+// NewTask returns an empty task with the given identity and timing.
+func NewTask(id TaskID, period, deadline Time) *Task { return model.NewTask(id, period, deadline) }
+
+// Analysis methods and entry points.
+type (
+	// Method selects a schedulability analysis.
+	Method = analysis.Method
+	// Options tunes an analysis run.
+	Options = analysis.Options
+	// Result is the outcome of partitioning + analysis.
+	Result = partition.Result
+	// Partition maps tasks to clusters and global resources to processors.
+	Partition = partition.Partition
+)
+
+// The five methods the paper compares.
+const (
+	DPCPpEP = analysis.DPCPpEP
+	DPCPpEN = analysis.DPCPpEN
+	SPIN    = analysis.SPIN
+	LPP     = analysis.LPP
+	FEDFP   = analysis.FEDFP
+)
+
+// Methods lists every implemented method in the paper's comparison order.
+func Methods() []Method { return analysis.Methods() }
+
+// Test runs the full schedulability pipeline (partitioning + analysis).
+func Test(m Method, ts *Taskset, opts Options) Result { return analysis.Test(m, ts, opts) }
+
+// Schedulable returns only the verdict of Test.
+func Schedulable(m Method, ts *Taskset, opts Options) bool {
+	return analysis.Schedulable(m, ts, opts)
+}
+
+// Taskset synthesis (Sec. VII-A).
+type (
+	// Scenario is one experimental configuration.
+	Scenario = taskgen.Scenario
+	// Generator synthesizes tasksets for a scenario.
+	Generator = taskgen.Generator
+	// IntRange is an inclusive integer range.
+	IntRange = taskgen.IntRange
+	// TimeRange is an inclusive duration range.
+	TimeRange = taskgen.TimeRange
+)
+
+// NewGenerator returns a Generator with the paper's defaults.
+func NewGenerator(s Scenario) *Generator { return taskgen.NewGenerator(s) }
+
+// Grid returns the paper's full 216-scenario grid.
+func Grid() []Scenario { return taskgen.Grid() }
+
+// Fig2Scenario returns the configuration of one Fig. 2 subplot
+// ("2a".."2d").
+func Fig2Scenario(sub string) (Scenario, error) { return taskgen.Fig2Scenario(sub) }
+
+// UtilizationPoints returns the paper's utilization sweep for m processors.
+func UtilizationPoints(m int) []float64 { return taskgen.UtilizationPoints(m) }
+
+// RandFixedSum draws n values in [lo,hi] summing to total (Stafford's
+// algorithm, as recommended by Emberson et al.).
+func RandFixedSum(r *rand.Rand, n int, total, lo, hi float64) ([]float64, error) {
+	return taskgen.RandFixedSum(r, n, total, lo, hi)
+}
+
+// Simulation.
+type (
+	// SimConfig tunes a simulation run.
+	SimConfig = sim.Config
+	// Sim is a discrete-event simulation instance.
+	Sim = sim.Sim
+	// SimMetrics aggregates a simulation's outcome.
+	SimMetrics = sim.Metrics
+	// Span is one execution interval on a processor.
+	Span = sim.Span
+	// CSPlacement controls critical-section placement inside vertices.
+	CSPlacement = sim.CSPlacement
+)
+
+// Critical-section placements.
+const (
+	SpreadCS = sim.SpreadCS
+	FrontCS  = sim.FrontCS
+	BackCS   = sim.BackCS
+)
+
+// Protocol selects the simulated runtime protocol.
+type Protocol = sim.Protocol
+
+// Runtime protocols: the paper's DPCP-p (remote agents + ceiling), and
+// the two local-execution baselines.
+const (
+	ProtocolDPCPp = sim.ProtocolDPCPp
+	ProtocolSpin  = sim.ProtocolSpin
+	ProtocolLPP   = sim.ProtocolLPP
+)
+
+// Breakdown decomposes a DPCP-p WCRT bound into Theorem 1's terms.
+type Breakdown = analysis.Breakdown
+
+// Explain returns per-task breakdowns of the DPCP-p-EP bound under the
+// partition, in descending priority order.
+func Explain(ts *Taskset, p *Partition, pathCap int) []Breakdown {
+	if pathCap <= 0 {
+		pathCap = analysis.DefaultPathCap
+	}
+	return analysis.NewDPCPp(ts, pathCap, false).Explain(p)
+}
+
+// NewSim builds a simulator for the taskset under the partition.
+func NewSim(ts *Taskset, p *Partition, cfg SimConfig) (*Sim, error) {
+	return sim.New(ts, p, cfg)
+}
+
+// Gantt renders a trace as an ASCII chart.
+func Gantt(spans []Span, numProcs int, horizon, bucket Time) string {
+	return sim.Gantt(spans, numProcs, horizon, bucket)
+}
+
+// Experiments (Sec. VII).
+type (
+	// Campaign configures one acceptance-ratio sweep.
+	Campaign = experiments.Campaign
+	// Curve is the acceptance-ratio data of one scenario.
+	Curve = experiments.Curve
+	// GridResult aggregates Tables 2 and 3.
+	GridResult = experiments.GridResult
+)
+
+// RunGrid executes campaigns for a list of scenarios.
+func RunGrid(template Campaign, scenarios []Scenario) ([]*Curve, error) {
+	return experiments.RunGrid(template, scenarios)
+}
+
+// Aggregate counts pairwise dominance/outperformance across curves.
+func Aggregate(curves []*Curve, methods []Method) *GridResult {
+	return experiments.Aggregate(curves, methods)
+}
+
+// FormatCurve renders a curve as a text table.
+func FormatCurve(c *Curve) string { return experiments.FormatCurve(c) }
+
+// FormatGrid renders Tables 2 and 3.
+func FormatGrid(g *GridResult) string { return experiments.FormatGrid(g) }

@@ -1,0 +1,292 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Sec. VII), plus ablations for the design choices DESIGN.md calls out.
+//
+// Each figure benchmark runs a reduced-sample acceptance-ratio sweep of its
+// scenario and reports the two summary metrics that define the figure's
+// shape: the area under the DPCP-p-EP curve versus the best baseline, via
+// custom benchmark metrics. The table benchmark sweeps a deterministic
+// subset of the 216-scenario grid. Full-accuracy runs use cmd/schedtest.
+package dpcpp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/experiments"
+	"dpcpp/internal/partition"
+	"dpcpp/internal/rt"
+	"dpcpp/internal/sim"
+	"dpcpp/internal/taskgen"
+)
+
+// benchCampaign keeps benchmark iterations affordable; cmd/schedtest runs
+// the full-sample version.
+func benchCampaign(scen taskgen.Scenario) experiments.Campaign {
+	return experiments.Campaign{
+		Scenario:         scen,
+		TasksetsPerPoint: 4,
+		Seed:             2020,
+	}
+}
+
+func auc(c *experiments.Curve, m analysis.Method) float64 {
+	total := 0.0
+	for i := range c.Points {
+		total += c.Ratio(m, i)
+	}
+	return total / float64(len(c.Points))
+}
+
+func benchmarkFig(b *testing.B, sub string) {
+	scen, err := taskgen.Fig2Scenario(sub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var curve *experiments.Curve
+	for i := 0; i < b.N; i++ {
+		curve, err = benchCampaign(scen).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(auc(curve, analysis.DPCPpEP), "auc-dpcp-ep")
+	b.ReportMetric(auc(curve, analysis.DPCPpEN), "auc-dpcp-en")
+	b.ReportMetric(auc(curve, analysis.SPIN), "auc-spin")
+	b.ReportMetric(auc(curve, analysis.LPP), "auc-lpp")
+	b.ReportMetric(auc(curve, analysis.FEDFP), "auc-fedfp")
+}
+
+// BenchmarkFig2a regenerates Fig. 2(a): U^avg=1.5, m=16, nr in [4,8], pr=0.5.
+func BenchmarkFig2a(b *testing.B) { benchmarkFig(b, "2a") }
+
+// BenchmarkFig2b regenerates Fig. 2(b): U^avg=1.5, m=32, nr in [8,16], pr=1.
+func BenchmarkFig2b(b *testing.B) { benchmarkFig(b, "2b") }
+
+// BenchmarkFig2c regenerates Fig. 2(c): U^avg=2, m=16, nr in [4,8], pr=0.5.
+func BenchmarkFig2c(b *testing.B) { benchmarkFig(b, "2c") }
+
+// BenchmarkFig2d regenerates Fig. 2(d): U^avg=2, m=32, nr in [8,16], pr=1.
+func BenchmarkFig2d(b *testing.B) { benchmarkFig(b, "2d") }
+
+// BenchmarkTables2and3 sweeps a deterministic stratified subset of the
+// 216-scenario grid (every 9th scenario) and reports how often DPCP-p-EP
+// dominates/outperforms each baseline, the headline statistics of the
+// paper's Tables 2 and 3.
+func BenchmarkTables2and3(b *testing.B) {
+	full := taskgen.Grid()
+	var grid []taskgen.Scenario
+	for i := 0; i < len(full); i += 9 {
+		grid = append(grid, full[i])
+	}
+	var g *experiments.GridResult
+	for i := 0; i < b.N; i++ {
+		var curves []*experiments.Curve
+		for _, s := range grid {
+			c := benchCampaign(s)
+			c.TasksetsPerPoint = 2
+			curve, err := c.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			curves = append(curves, curve)
+		}
+		g = experiments.Aggregate(curves, analysis.Methods())
+	}
+	n := float64(g.Scenarios)
+	b.ReportMetric(float64(g.Dominance[analysis.DPCPpEP][analysis.SPIN])/n, "dom-ep-over-spin")
+	b.ReportMetric(float64(g.Dominance[analysis.DPCPpEP][analysis.LPP])/n, "dom-ep-over-lpp")
+	b.ReportMetric(float64(g.Dominance[analysis.DPCPpEP][analysis.DPCPpEN])/n, "dom-ep-over-en")
+	b.ReportMetric(float64(g.Outperformance[analysis.DPCPpEP][analysis.SPIN])/n, "out-ep-over-spin")
+	b.ReportMetric(float64(g.Outperformance[analysis.DPCPpEP][analysis.LPP])/n, "out-ep-over-lpp")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkPathCap measures the EP analysis cost and verdict quality as
+// the path-enumeration cap shrinks (the Sec. VI trade-off between
+// analysis precision and cost).
+func BenchmarkPathCap(b *testing.B) {
+	scen, _ := taskgen.Fig2Scenario("2a")
+	for _, cap := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("cap%d", cap), func(b *testing.B) {
+			accepted := 0
+			tested := 0
+			for i := 0; i < b.N; i++ {
+				g := taskgen.NewGenerator(scen)
+				for s := int64(0); s < 8; s++ {
+					r := rand.New(rand.NewSource(s))
+					ts, err := g.Taskset(r, 6.0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tested++
+					if analysis.Schedulable(analysis.DPCPpEP, ts, analysis.Options{PathCap: cap}) {
+						accepted++
+					}
+				}
+			}
+			b.ReportMetric(float64(accepted)/float64(tested), "accept-ratio")
+		})
+	}
+}
+
+// BenchmarkPlacementHeuristic compares WFD (Algorithm 2) with the FFD
+// ablation on the heavy-contention scenario.
+func BenchmarkPlacementHeuristic(b *testing.B) {
+	scen, _ := taskgen.Fig2Scenario("2b")
+	for _, h := range []struct {
+		name string
+		ph   partition.PlacementHeuristic
+	}{{"WFD", partition.WFD}, {"FFD", partition.FFD}} {
+		b.Run(h.name, func(b *testing.B) {
+			accepted, tested := 0, 0
+			for i := 0; i < b.N; i++ {
+				g := taskgen.NewGenerator(scen)
+				for s := int64(0); s < 8; s++ {
+					r := rand.New(rand.NewSource(s))
+					ts, err := g.Taskset(r, 4.0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tested++
+					if analysis.Schedulable(analysis.DPCPpEP, ts,
+						analysis.Options{Placement: h.ph}) {
+						accepted++
+					}
+				}
+			}
+			b.ReportMetric(float64(accepted)/float64(tested), "accept-ratio")
+		})
+	}
+}
+
+// BenchmarkAnalysisMethods measures the per-taskset cost of each
+// schedulability test on a Fig. 2(a) workload.
+func BenchmarkAnalysisMethods(b *testing.B) {
+	scen, _ := taskgen.Fig2Scenario("2a")
+	g := taskgen.NewGenerator(scen)
+	ts, err := g.Taskset(rand.New(rand.NewSource(1)), 6.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range analysis.Methods() {
+		b.Run(string(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analysis.Test(m, ts, analysis.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator measures discrete-event simulation throughput on the
+// autonomous-pipeline-sized workload and reports events (jobs+requests)
+// per run.
+func BenchmarkSimulator(b *testing.B) {
+	scen := taskgen.Scenario{
+		M:          8,
+		NumRes:     taskgen.IntRange{Lo: 2, Hi: 4},
+		UAvg:       1.5,
+		PAccess:    0.75,
+		NReq:       taskgen.IntRange{Lo: 1, Hi: 10},
+		CSLen:      taskgen.TimeRange{Lo: 15 * rt.Microsecond, Hi: 50 * rt.Microsecond},
+		VertsRange: taskgen.IntRange{Lo: 8, Hi: 16},
+		EdgeProb:   0.15,
+		PeriodLo:   2 * rt.Millisecond,
+		PeriodHi:   10 * rt.Millisecond,
+	}
+	g := taskgen.NewGenerator(scen)
+	var ts = mustSchedulable(b, g)
+	res := analysis.Test(analysis.DPCPpEP, ts, analysis.Options{})
+	var horizon rt.Time
+	for _, t := range ts.Tasks {
+		if t.Period > horizon {
+			horizon = t.Period
+		}
+	}
+	b.ResetTimer()
+	var m sim.Metrics
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(ts, res.Partition, sim.Config{Horizon: 4 * horizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err = s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Jobs), "jobs/run")
+	b.ReportMetric(float64(m.Requests), "requests/run")
+}
+
+func mustSchedulable(b *testing.B, g *taskgen.Generator) *TasksetAlias {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ts, err := g.Taskset(r, 3.0)
+		if err != nil {
+			continue
+		}
+		if analysis.Schedulable(analysis.DPCPpEP, ts, analysis.Options{}) {
+			return ts
+		}
+	}
+	b.Fatal("no schedulable taskset found for the simulator benchmark")
+	return nil
+}
+
+// TasksetAlias keeps the benchmark helper signatures readable.
+type TasksetAlias = Taskset
+
+// BenchmarkTaskGeneration measures the synthesis pipeline itself.
+func BenchmarkTaskGeneration(b *testing.B) {
+	scen, _ := taskgen.Fig2Scenario("2d") // hardest constraints
+	g := taskgen.NewGenerator(scen)
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		if _, err := g.Taskset(r, 16.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathEnumeration measures the EP path machinery on a DAG with an
+// exponential path count, exercising the cap fallback.
+func BenchmarkPathEnumeration(b *testing.B) {
+	ts := NewTaskset(4, 1)
+	task := NewTask(0, 10*rt.Millisecond, 10*rt.Millisecond)
+	prev := task.AddVertex(10 * rt.Microsecond)
+	for i := 0; i < 14; i++ {
+		x := task.AddVertex(20 * rt.Microsecond)
+		y := task.AddVertex(30 * rt.Microsecond)
+		j := task.AddVertex(10 * rt.Microsecond)
+		task.AddEdge(prev, x)
+		task.AddEdge(prev, y)
+		task.AddEdge(x, j)
+		task.AddEdge(y, j)
+		prev = j
+	}
+	task.AddRequest(0, 0, 1, 5*rt.Microsecond)
+	ts.Add(task)
+	if err := ts.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			task.CountPaths()
+		}
+	})
+	b.Run("bounds-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			task.ComputePathBounds()
+		}
+	})
+	b.Run("enumerate-16k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := task.EnumeratePaths(1 << 14); !ok {
+				b.Fatal("cap exceeded unexpectedly")
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Command schedtest regenerates the paper's evaluation artifacts:
+//
+//	schedtest -fig 2a                  one Fig. 2 subplot (text + optional CSV)
+//	schedtest -tables                  Tables 2 and 3 over the 216-scenario grid
+//	schedtest -tables -scenarios 24    a deterministic subset of the grid
+//	schedtest -ablation placement      WFD vs FFD resource placement
+//
+// Sample counts are configurable; the paper does not state its per-point
+// taskset count, so -n controls the accuracy/runtime trade-off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/experiments"
+	"dpcpp/internal/partition"
+	"dpcpp/internal/taskgen"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "regenerate one Fig. 2 subplot: 2a, 2b, 2c or 2d")
+		tables    = flag.Bool("tables", false, "regenerate Tables 2 and 3 over the scenario grid")
+		scenarios = flag.Int("scenarios", 216, "number of grid scenarios to run (deterministic prefix)")
+		n         = flag.Int("n", 25, "tasksets per utilization point")
+		seed      = flag.Int64("seed", 2020, "base seed")
+		pathCap   = flag.Int("pathcap", analysis.DefaultPathCap, "EP path enumeration cap")
+		csvPath   = flag.String("csv", "", "also write curve(s) as CSV to this file (or prefix for -tables)")
+		ablation  = flag.String("ablation", "", "run an ablation: placement")
+		methods   = flag.String("methods", "", "comma-separated method subset (default: all)")
+	)
+	flag.Parse()
+
+	tmpl := experiments.Campaign{
+		TasksetsPerPoint: *n,
+		Seed:             *seed,
+		Options:          analysis.Options{PathCap: *pathCap},
+		Methods:          parseMethods(*methods),
+	}
+
+	switch {
+	case *fig != "":
+		runFig(tmpl, *fig, *csvPath)
+	case *tables:
+		runTables(tmpl, *scenarios, *csvPath)
+	case *ablation == "placement":
+		runPlacementAblation(tmpl)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseMethods(s string) []analysis.Method {
+	if s == "" {
+		return analysis.Methods()
+	}
+	var out []analysis.Method
+	for _, part := range strings.Split(s, ",") {
+		m := analysis.Method(strings.TrimSpace(part))
+		found := false
+		for _, known := range analysis.Methods() {
+			if m == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown method %q; known: %v\n", m, analysis.Methods())
+			os.Exit(2)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func runFig(tmpl experiments.Campaign, sub, csvPath string) {
+	scen, err := taskgen.Fig2Scenario(sub)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tmpl.Scenario = scen
+	curve, err := tmpl.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Fig. 2(%s): acceptance ratio vs normalized utilization\n", strings.TrimPrefix(sub, "2"))
+	fmt.Print(experiments.FormatCurve(curve))
+	writeCSV(csvPath, curve)
+}
+
+func runTables(tmpl experiments.Campaign, limit int, csvPrefix string) {
+	grid := taskgen.Grid()
+	if limit < len(grid) {
+		grid = grid[:limit]
+	}
+	fmt.Printf("running %d scenarios x %d points x %d tasksets...\n",
+		len(grid), len(taskgen.UtilizationPoints(grid[0].M)), tmpl.TasksetsPerPoint)
+	var curves []*experiments.Curve
+	for i, s := range grid {
+		c := tmpl
+		c.Scenario = s
+		curve, err := c.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario %s: %v\n", s.Name(), err)
+			os.Exit(1)
+		}
+		curves = append(curves, curve)
+		fmt.Fprintf(os.Stderr, "\r%d/%d %s", i+1, len(grid), s.Name())
+		if csvPrefix != "" {
+			writeCSV(fmt.Sprintf("%s_%s.csv", csvPrefix, s.Name()), curve)
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	g := experiments.Aggregate(curves, tmpl.Methods)
+	fmt.Print(experiments.FormatGrid(g))
+}
+
+func runPlacementAblation(tmpl experiments.Campaign) {
+	scen, _ := taskgen.Fig2Scenario("2b") // heavy contention shows placement effects
+	fmt.Println("ablation: WFD (Algorithm 2) vs FFD resource placement, scenario", scen.Name())
+	for _, h := range []partition.PlacementHeuristic{partition.WFD, partition.FFD} {
+		c := tmpl
+		c.Scenario = scen
+		c.Methods = []analysis.Method{analysis.DPCPpEP}
+		c.Options.Placement = h
+		curve, err := c.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		name := "WFD"
+		if h == partition.FFD {
+			name = "FFD"
+		}
+		fmt.Printf("--- %s: %d tasksets accepted over the sweep\n",
+			name, curve.TotalAccepted(analysis.DPCPpEP))
+		fmt.Print(experiments.FormatCurve(curve))
+	}
+}
+
+func writeCSV(path string, curve *experiments.Curve) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := experiments.WriteCurveCSV(f, curve); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

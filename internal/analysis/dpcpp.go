@@ -1,0 +1,368 @@
+package analysis
+
+import (
+	"dpcpp/internal/model"
+	"dpcpp/internal/partition"
+	"dpcpp/internal/rt"
+	"dpcpp/internal/rta"
+)
+
+// DPCPp is the response-time analysis of Sec. IV. With en=false it
+// enumerates complete paths and evaluates Theorem 1 exactly per path
+// (DPCP-p-EP); with en=true, or whenever a DAG has more than pathCap
+// complete paths, it substitutes the per-term path extremes computed by
+// DAG dynamic programming (DPCP-p-EN).
+type DPCPp struct {
+	ts      *model.Taskset
+	pathCap int
+	en      bool
+
+	// Fallbacks counts tasks analyzed with EN bounds because their path
+	// count exceeded pathCap (diagnostics only).
+	Fallbacks int
+}
+
+// NewDPCPp returns a DPCP-p analyzer over the taskset.
+func NewDPCPp(ts *model.Taskset, pathCap int, en bool) *DPCPp {
+	return &DPCPp{ts: ts, pathCap: pathCap, en: en}
+}
+
+// WCRTs implements partition.Analyzer: it analyzes tasks from highest to
+// lowest priority so that eta terms can use the already-computed bounds of
+// higher-priority tasks (Sec. IV-B).
+func (a *DPCPp) WCRTs(p *partition.Partition) map[rt.TaskID]rt.Time {
+	wcrts := make(map[rt.TaskID]rt.Time, len(a.ts.Tasks))
+	for _, t := range a.ts.ByPriorityDesc() {
+		wcrts[t.ID] = a.taskWCRT(p, t, wcrts)
+	}
+	return wcrts
+}
+
+// pathView abstracts "one candidate worst-case path": either a concrete
+// enumerated path (EP) or the per-term extremes over all paths (EN).
+type pathView struct {
+	length     rt.Time // L(lambda) (EN: L*)
+	offNonCrit rt.Time // non-critical WCET of vertices not on the path
+	onPath     []int64 // N^lambda_{i,q} (EN: max over paths)
+	offPath    []int64 // N_{i,q} - N^lambda_{i,q} (EN: N - min over paths)
+}
+
+func (a *DPCPp) pathViews(t *model.Task) []pathView {
+	nr := a.ts.NumResources
+	if !a.en {
+		if paths, ok := t.EnumeratePaths(a.pathCap); ok {
+			views := make([]pathView, len(paths))
+			totalNonCrit := t.NonCritWCET()
+			for i, p := range paths {
+				v := pathView{
+					length:     p.Length,
+					offNonCrit: totalNonCrit - p.NonCrit,
+					onPath:     make([]int64, nr),
+					offPath:    make([]int64, nr),
+				}
+				for q := 0; q < nr; q++ {
+					n := p.Requests(rt.ResourceID(q))
+					v.onPath[q] = n
+					v.offPath[q] = t.NumRequests(rt.ResourceID(q)) - n
+				}
+				views[i] = v
+			}
+			return views
+		}
+		a.Fallbacks++
+	}
+	b := t.ComputePathBounds()
+	v := pathView{
+		length:     b.MaxLength,
+		offNonCrit: t.NonCritWCET() - b.MinNonCrit,
+		onPath:     make([]int64, nr),
+		offPath:    make([]int64, nr),
+	}
+	for q := 0; q < nr; q++ {
+		v.onPath[q] = b.MaxReq[q]
+		v.offPath[q] = t.NumRequests(rt.ResourceID(q)) - b.MinReq[q]
+	}
+	return []pathView{v}
+}
+
+// procCtx carries the per-processor precomputations for one analyzed task:
+// the beta and gamma terms of Lemma 2 and the zeta term of Lemma 3.
+type procCtx struct {
+	proc rt.ProcID
+	res  []rt.ResourceID // global resources placed here
+
+	beta rt.Time // max lower-priority CS with ceiling >= pi_i (Lemma 2)
+
+	// gamma terms: per higher-priority task h, its per-job CS work on the
+	// resources of this processor plus its (T, R) for the eta function.
+	hp []etaTerm
+	// zeta terms: per other task j (any priority), its per-job CS work here.
+	other []etaTerm
+}
+
+type etaTerm struct {
+	period rt.Time
+	resp   rt.Time
+	work   rt.Time
+}
+
+func etaSum(terms []etaTerm, window rt.Time) rt.Time {
+	var total rt.Time
+	for _, e := range terms {
+		total = rt.SatAdd(total, rt.SatMul(rta.Eta(window, e.resp, e.period), e.work))
+	}
+	return total
+}
+
+// taskCtx bundles everything Theorem 1 needs for one task.
+type taskCtx struct {
+	task    *model.Task
+	mi      int64
+	procs   []procCtx // processors hosting at least one global resource
+	cluster []etaTerm // Lemma 6: other tasks' CS work on this task's cluster
+	// clusterRes are the global resources on this task's own cluster.
+	clusterRes []rt.ResourceID
+	// localRes are the local resources the task uses.
+	localRes []rt.ResourceID
+	// hpShared: for light tasks sharing a processor (Sec. VI), the
+	// higher-priority light tasks co-located with this one; their whole
+	// WCET interferes under partitioned fixed-priority scheduling.
+	hpShared []etaTerm
+	shared   bool
+}
+
+func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
+	wcrts map[rt.TaskID]rt.Time) *taskCtx {
+
+	ts := a.ts
+	ctx := &taskCtx{task: t, mi: int64(p.NumProcs(t.ID))}
+	if ctx.mi == 0 {
+		ctx.mi = 1
+	}
+
+	for q := 0; q < ts.NumResources; q++ {
+		rid := rt.ResourceID(q)
+		if ts.IsLocal(rid) && t.UsesResource(rid) {
+			ctx.localRes = append(ctx.localRes, rid)
+		}
+	}
+
+	for k := 0; k < ts.NumProcs; k++ {
+		proc := rt.ProcID(k)
+		res := p.ResourcesOn(proc)
+		if len(res) == 0 {
+			continue
+		}
+		pc := procCtx{proc: proc, res: res}
+		for _, other := range ts.Tasks {
+			if other.ID == t.ID {
+				continue
+			}
+			var work rt.Time
+			for _, u := range res {
+				work = rt.SatAdd(work, other.CSWork(u))
+			}
+			if work == 0 {
+				continue
+			}
+			term := etaTerm{period: other.Period, resp: knownOrDeadline(wcrts, other), work: work}
+			pc.other = append(pc.other, term)
+			if other.Priority.Higher(t.Priority) {
+				pc.hp = append(pc.hp, term)
+			} else {
+				// Lower-priority tasks contribute to beta: their longest
+				// CS on a co-located resource whose ceiling reaches pi_i.
+				for _, u := range res {
+					if other.UsesResource(u) && ts.CeilingAtLeast(u, t.Priority) {
+						if cs := other.CS(u); cs > pc.beta {
+							pc.beta = cs
+						}
+					}
+				}
+			}
+		}
+		ctx.procs = append(ctx.procs, pc)
+	}
+
+	if p.IsShared(t.ID) {
+		ctx.shared = true
+		ctx.mi = 1
+		for _, k := range p.Procs(t.ID) {
+			for _, id := range p.SharedOn(k) {
+				if id == t.ID {
+					continue
+				}
+				other := ts.Task(id)
+				if other.Priority.Higher(t.Priority) {
+					ctx.hpShared = append(ctx.hpShared, etaTerm{
+						period: other.Period,
+						resp:   knownOrDeadline(wcrts, other),
+						work:   other.WCET(),
+					})
+				}
+			}
+		}
+	}
+
+	ctx.clusterRes = p.ClusterResources(t.ID)
+	if len(ctx.clusterRes) > 0 {
+		for _, other := range ts.Tasks {
+			if other.ID == t.ID {
+				continue
+			}
+			var work rt.Time
+			for _, u := range ctx.clusterRes {
+				work = rt.SatAdd(work, other.CSWork(u))
+			}
+			if work > 0 {
+				ctx.cluster = append(ctx.cluster,
+					etaTerm{period: other.Period, resp: knownOrDeadline(wcrts, other), work: work})
+			}
+		}
+	}
+	return ctx
+}
+
+func (a *DPCPp) taskWCRT(p *partition.Partition, t *model.Task,
+	wcrts map[rt.TaskID]rt.Time) rt.Time {
+
+	ctx := a.buildCtx(p, t, wcrts)
+	// A light task runs sequentially: the whole job is its only "path";
+	// every request is on it and nothing runs off it (handled by viewsFor).
+	views := a.viewsFor(ctx)
+
+	var worst rt.Time
+	for i := range views {
+		r := a.pathWCRT(ctx, &views[i])
+		if r > worst {
+			worst = r
+		}
+		if worst >= rt.Infinity {
+			return rt.Infinity
+		}
+	}
+	return worst
+}
+
+// pathWCRT evaluates Theorem 1 for one path view:
+//
+//	r <= L(lambda) + B_i + b_i + (I_intra + I_A) / m_i
+//
+// as the least fixed point over r (B and I_A depend on r through eta).
+func (a *DPCPp) pathWCRT(ctx *taskCtx, v *pathView) rt.Time {
+	t := ctx.task
+
+	// Lemma 4: intra-task blocking (constant in r).
+	b := a.intraBlocking(ctx, v)
+
+	// Lemma 5: intra-task interference (constant in r).
+	iIntra := v.offNonCrit
+	for _, q := range ctx.localRes {
+		iIntra = rt.SatAdd(iIntra, rt.SatMul(v.offPath[q], t.CS(q)))
+	}
+
+	// Lemma 3 epsilon terms (constant in r; computed via Lemma 2's W).
+	eps := make([]rt.Time, len(ctx.procs))
+	for i := range ctx.procs {
+		eps[i] = a.epsilon(ctx, &ctx.procs[i], v)
+	}
+
+	// Static off-path agent work on the own cluster (Lemma 6, Eq. 9).
+	var iaStatic rt.Time
+	for _, q := range ctx.clusterRes {
+		iaStatic = rt.SatAdd(iaStatic, rt.SatMul(v.offPath[q], t.CS(q)))
+	}
+
+	recurrence := func(r rt.Time) rt.Time {
+		// Lemma 3: B_i <= sum_k min(eps_k, zeta_k(r)).
+		var blocking rt.Time
+		for i := range ctx.procs {
+			zeta := etaSum(ctx.procs[i].other, r)
+			if eps[i] < zeta {
+				blocking = rt.SatAdd(blocking, eps[i])
+			} else {
+				blocking = rt.SatAdd(blocking, zeta)
+			}
+		}
+		// Lemma 6: I_A.
+		ia := rt.SatAdd(etaSum(ctx.cluster, r), iaStatic)
+		sum := rt.SatAdd(v.length, blocking)
+		sum = rt.SatAdd(sum, b)
+		sum = rt.SatAdd(sum, rt.CeilDiv(rt.SatAdd(iIntra, ia), ctx.mi))
+		// Sec. VI: higher-priority light tasks on the same processor
+		// interfere with their full WCET (partitioned fixed-priority).
+		return rt.SatAdd(sum, etaSum(ctx.hpShared, r))
+	}
+
+	x0 := rt.SatAdd(v.length, rt.SatAdd(b, rt.CeilDiv(iIntra, ctx.mi)))
+	r, ok := rta.FixPoint(x0, t.Deadline, recurrence)
+	if !ok {
+		return rt.Infinity
+	}
+	return r
+}
+
+// intraBlocking evaluates Lemma 4.
+func (a *DPCPp) intraBlocking(ctx *taskCtx, v *pathView) rt.Time {
+	t := ctx.task
+	var b rt.Time
+	// Eq. (6): local resources the path itself requests.
+	for _, q := range ctx.localRes {
+		if v.onPath[q] > 0 {
+			b = rt.SatAdd(b, rt.SatMul(v.offPath[q], t.CS(q)))
+		}
+	}
+	// Eq. (7): global resources on processors the path requests from.
+	for i := range ctx.procs {
+		pc := &ctx.procs[i]
+		sigma := false
+		for _, u := range pc.res {
+			if v.onPath[u] > 0 {
+				sigma = true
+				break
+			}
+		}
+		if !sigma {
+			continue
+		}
+		for _, u := range pc.res {
+			b = rt.SatAdd(b, rt.SatMul(v.offPath[u], t.CS(u)))
+		}
+	}
+	return b
+}
+
+// epsilon evaluates Eq. (4) for one processor: the per-request blocking
+// bound (beta + gamma(W)) scaled by the number of requests the path issues
+// to each resource on the processor. W is the Lemma 2 request response
+// time. When a W recurrence diverges beyond the deadline, epsilon becomes
+// Infinity and Lemma 3's min() falls back to the zeta bound, which remains
+// sound.
+func (a *DPCPp) epsilon(ctx *taskCtx, pc *procCtx, v *pathView) rt.Time {
+	t := ctx.task
+
+	// Off-path intra-task CS work on this processor's resources (the
+	// middle term of Eq. 3), shared by every W on this processor.
+	var offCoWork rt.Time
+	for _, u := range pc.res {
+		offCoWork = rt.SatAdd(offCoWork, rt.SatMul(v.offPath[u], t.CS(u)))
+	}
+
+	var eps rt.Time
+	for _, q := range pc.res {
+		n := v.onPath[q]
+		if n == 0 {
+			continue
+		}
+		base := rt.SatAdd(t.CS(q), rt.SatAdd(offCoWork, pc.beta))
+		w, ok := rta.FixPoint(base, t.Deadline, func(w rt.Time) rt.Time {
+			return rt.SatAdd(base, etaSum(pc.hp, w))
+		})
+		if !ok {
+			return rt.Infinity
+		}
+		perReq := rt.SatAdd(pc.beta, etaSum(pc.hp, w))
+		eps = rt.SatAdd(eps, rt.SatMul(n, perReq))
+	}
+	return eps
+}

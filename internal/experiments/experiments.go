@@ -1,0 +1,234 @@
+// Package experiments regenerates the paper's evaluation (Sec. VII): the
+// acceptance-ratio curves of Fig. 2 and the dominance/outperformance
+// statistics of Tables 2 and 3, over the full 216-scenario grid or any
+// subset of it. Runs are deterministic: every taskset's seed derives from
+// the scenario name, the utilization point and the sample index, so
+// results are reproducible regardless of worker scheduling.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/model"
+	"dpcpp/internal/stats"
+	"dpcpp/internal/taskgen"
+)
+
+// Campaign configures one acceptance-ratio sweep for one scenario.
+type Campaign struct {
+	Scenario         taskgen.Scenario
+	Methods          []analysis.Method
+	TasksetsPerPoint int
+	Seed             int64
+	Options          analysis.Options
+	// Parallelism bounds the worker pool (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Point is one utilization point of an acceptance-ratio curve.
+type Point struct {
+	Utilization float64 // total taskset utilization
+	Normalized  float64 // Utilization / m
+	Accepted    map[analysis.Method]int
+	Total       int
+}
+
+// Curve is the acceptance-ratio data of one scenario (one Fig. 2 subplot).
+type Curve struct {
+	Scenario taskgen.Scenario
+	Methods  []analysis.Method
+	Points   []Point
+}
+
+// Ratio returns the acceptance ratio of the method at point i.
+func (c *Curve) Ratio(m analysis.Method, i int) float64 {
+	return stats.Ratio(c.Points[i].Accepted[m], c.Points[i].Total)
+}
+
+// TotalAccepted returns how many tasksets the method scheduled across the
+// whole sweep (the paper's "scheduled more task sets" outperformance
+// metric).
+func (c *Curve) TotalAccepted(m analysis.Method) int {
+	n := 0
+	for i := range c.Points {
+		n += c.Points[i].Accepted[m]
+	}
+	return n
+}
+
+// seedFor derives the deterministic RNG seed of one sample.
+func seedFor(base int64, scenario string, point, sample int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d", base, scenario, point, sample)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// generate draws a taskset for one sample, retrying a few times when the
+// structural constraints cannot be met for the drawn parameters.
+func generate(g *taskgen.Generator, seed int64, util float64) (*model.Taskset, error) {
+	var lastErr error
+	for attempt := 0; attempt < 16; attempt++ {
+		r := rand.New(rand.NewSource(seed + int64(attempt)*7919))
+		ts, err := g.Taskset(r, util)
+		if err == nil {
+			return ts, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Run sweeps the scenario's utilization points and returns the curve.
+func (c Campaign) Run() (*Curve, error) {
+	if len(c.Methods) == 0 {
+		c.Methods = analysis.Methods()
+	}
+	if c.TasksetsPerPoint <= 0 {
+		c.TasksetsPerPoint = 25
+	}
+	workers := c.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scen := c.Scenario.DefaultStructure()
+	points := taskgen.UtilizationPoints(scen.M)
+	curve := &Curve{Scenario: scen, Methods: c.Methods}
+	for _, u := range points {
+		curve.Points = append(curve.Points, Point{
+			Utilization: u,
+			Normalized:  u / float64(scen.M),
+			Accepted:    make(map[analysis.Method]int),
+		})
+	}
+
+	type job struct{ point, sample int }
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+
+	worker := func() {
+		defer wg.Done()
+		g := taskgen.NewGenerator(scen)
+		for jb := range jobs {
+			seed := seedFor(c.Seed, scen.Name(), jb.point, jb.sample)
+			ts, err := generate(g, seed, curve.Points[jb.point].Utilization)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("point %d sample %d: %w", jb.point, jb.sample, err)
+				}
+				mu.Unlock()
+				continue
+			}
+			verdicts := make(map[analysis.Method]bool, len(c.Methods))
+			for _, m := range c.Methods {
+				verdicts[m] = analysis.Schedulable(m, ts, c.Options)
+			}
+			mu.Lock()
+			pt := &curve.Points[jb.point]
+			pt.Total++
+			for m, ok := range verdicts {
+				if ok {
+					pt.Accepted[m]++
+				}
+			}
+			mu.Unlock()
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	for pi := range curve.Points {
+		for s := 0; s < c.TasksetsPerPoint; s++ {
+			jobs <- job{pi, s}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return curve, firstErr
+}
+
+// Dominates implements the paper's footnote: A dominates B when A's
+// acceptance ratio is strictly higher at some tested point and never lower
+// at any point.
+func Dominates(c *Curve, a, b analysis.Method) bool {
+	higherSomewhere := false
+	for i := range c.Points {
+		ra, rb := c.Ratio(a, i), c.Ratio(b, i)
+		if ra < rb {
+			return false
+		}
+		if ra > rb {
+			higherSomewhere = true
+		}
+	}
+	return higherSomewhere
+}
+
+// Outperforms implements the paper's footnote: A outperforms B when A
+// scheduled more tasksets than B over the sweep.
+func Outperforms(c *Curve, a, b analysis.Method) bool {
+	return c.TotalAccepted(a) > c.TotalAccepted(b)
+}
+
+// GridResult aggregates Tables 2 and 3 over a set of scenario curves.
+type GridResult struct {
+	Methods        []analysis.Method
+	Scenarios      int
+	Dominance      map[analysis.Method]map[analysis.Method]int
+	Outperformance map[analysis.Method]map[analysis.Method]int
+}
+
+// Aggregate counts pairwise dominance/outperformance across curves.
+func Aggregate(curves []*Curve, methods []analysis.Method) *GridResult {
+	g := &GridResult{
+		Methods:        methods,
+		Scenarios:      len(curves),
+		Dominance:      make(map[analysis.Method]map[analysis.Method]int),
+		Outperformance: make(map[analysis.Method]map[analysis.Method]int),
+	}
+	for _, a := range methods {
+		g.Dominance[a] = make(map[analysis.Method]int)
+		g.Outperformance[a] = make(map[analysis.Method]int)
+	}
+	for _, c := range curves {
+		for _, a := range methods {
+			for _, b := range methods {
+				if a == b {
+					continue
+				}
+				if Dominates(c, a, b) {
+					g.Dominance[a][b]++
+				}
+				if Outperforms(c, a, b) {
+					g.Outperformance[a][b]++
+				}
+			}
+		}
+	}
+	return g
+}
+
+// RunGrid executes campaigns for every scenario in the grid, reusing the
+// campaign template's methods, sample count and options.
+func RunGrid(template Campaign, scenarios []taskgen.Scenario) ([]*Curve, error) {
+	curves := make([]*Curve, 0, len(scenarios))
+	for _, s := range scenarios {
+		c := template
+		c.Scenario = s
+		curve, err := c.Run()
+		if err != nil {
+			return curves, fmt.Errorf("scenario %s: %w", s.Name(), err)
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}

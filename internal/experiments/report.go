@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dpcpp/internal/analysis"
+)
+
+// WriteCurveCSV emits an acceptance-ratio curve as CSV: one row per
+// utilization point, one column per method.
+func WriteCurveCSV(w io.Writer, c *Curve) error {
+	cw := csv.NewWriter(w)
+	header := []string{"utilization", "normalized", "tasksets"}
+	for _, m := range c.Methods {
+		header = append(header, string(m))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, pt := range c.Points {
+		row := []string{
+			strconv.FormatFloat(pt.Utilization, 'f', 3, 64),
+			strconv.FormatFloat(pt.Normalized, 'f', 3, 64),
+			strconv.Itoa(pt.Total),
+		}
+		for _, m := range c.Methods {
+			row = append(row, strconv.FormatFloat(c.Ratio(m, i), 'f', 4, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatCurve renders the curve as an aligned text table (the textual
+// equivalent of one Fig. 2 subplot).
+func FormatCurve(c *Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s (%d tasksets/point)\n", c.Scenario.Name(), pointTotal(c))
+	fmt.Fprintf(&b, "%-8s", "U/m")
+	for _, m := range c.Methods {
+		fmt.Fprintf(&b, "%12s", m)
+	}
+	b.WriteByte('\n')
+	for i, pt := range c.Points {
+		fmt.Fprintf(&b, "%-8.3f", pt.Normalized)
+		for _, m := range c.Methods {
+			fmt.Fprintf(&b, "%12.3f", c.Ratio(m, i))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func pointTotal(c *Curve) int {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[0].Total
+}
+
+// FormatTable renders a pairwise count matrix in the layout of the paper's
+// Tables 2 and 3: row method vs column method, count and percentage of
+// scenarios.
+func FormatTable(title string, g *GridResult, counts map[analysis.Method]map[analysis.Method]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d scenarios)\n", title, g.Scenarios)
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, m := range g.Methods {
+		fmt.Fprintf(&b, "%18s", m)
+	}
+	b.WriteByte('\n')
+	for _, a := range g.Methods {
+		fmt.Fprintf(&b, "%-12s", a)
+		for _, bm := range g.Methods {
+			if a == bm {
+				fmt.Fprintf(&b, "%18s", "N/A")
+				continue
+			}
+			n := counts[a][bm]
+			pct := 0.0
+			if g.Scenarios > 0 {
+				pct = 100 * float64(n) / float64(g.Scenarios)
+			}
+			fmt.Fprintf(&b, "%18s", fmt.Sprintf("%d(%.1f%%)", n, pct))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatGrid renders both tables.
+func FormatGrid(g *GridResult) string {
+	return FormatTable("Table 2. Statistic for Dominance.", g, g.Dominance) + "\n" +
+		FormatTable("Table 3. Statistic for Outperformance.", g, g.Outperformance)
+}

@@ -1,0 +1,26 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EncodeTaskset writes the taskset as JSON. The derived quantities are not
+// serialized; DecodeTaskset re-validates and recomputes them.
+func EncodeTaskset(w io.Writer, ts *Taskset) error {
+	return json.NewEncoder(w).Encode(ts)
+}
+
+// DecodeTaskset reads a taskset produced by EncodeTaskset (or cmd/taskgen)
+// and finalizes it.
+func DecodeTaskset(r io.Reader) (*Taskset, error) {
+	var ts Taskset
+	if err := json.NewDecoder(r).Decode(&ts); err != nil {
+		return nil, fmt.Errorf("model: decoding taskset: %w", err)
+	}
+	if err := ts.Finalize(); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}

@@ -1,0 +1,65 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dpcpp/internal/rt"
+)
+
+func TestTasksetJSONRoundTrip(t *testing.T) {
+	ts := NewTaskset(4, 2)
+	task := paperTaskGi(t)
+	ts.Add(task)
+	other := NewTask(1, 30*rt.Microsecond, 30*rt.Microsecond)
+	vo := other.AddVertex(5 * rt.Microsecond)
+	other.AddRequest(vo, 0, 2, rt.Microsecond)
+	ts.Add(other)
+	if err := ts.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeTaskset(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTaskset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.NumProcs != ts.NumProcs || got.NumResources != ts.NumResources {
+		t.Errorf("header mismatch: %d/%d vs %d/%d",
+			got.NumProcs, got.NumResources, ts.NumProcs, ts.NumResources)
+	}
+	if len(got.Tasks) != len(ts.Tasks) {
+		t.Fatalf("task count %d, want %d", len(got.Tasks), len(ts.Tasks))
+	}
+	for i := range ts.Tasks {
+		a, b := ts.Tasks[i], got.Tasks[i]
+		if a.WCET() != b.WCET() || a.LongestPath() != b.LongestPath() ||
+			a.Period != b.Period || a.Priority != b.Priority {
+			t.Errorf("task %d: derived quantities differ after round trip", i)
+		}
+		for q := 0; q < ts.NumResources; q++ {
+			if a.NumRequests(rt.ResourceID(q)) != b.NumRequests(rt.ResourceID(q)) {
+				t.Errorf("task %d resource %d: request counts differ", i, q)
+			}
+		}
+	}
+	// Resource classification must survive.
+	if got.IsGlobal(0) != ts.IsGlobal(0) || got.IsGlobal(1) != ts.IsGlobal(1) {
+		t.Error("resource classification changed across round trip")
+	}
+}
+
+func TestDecodeTasksetRejectsGarbage(t *testing.T) {
+	if _, err := DecodeTaskset(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid JSON but invalid taskset (m=0).
+	if _, err := DecodeTaskset(strings.NewReader(`{"tasks":[],"num_resources":0,"num_procs":0}`)); err == nil {
+		t.Error("invalid taskset accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package model
+
+import (
+	"math"
+
+	"dpcpp/internal/rt"
+)
+
+// Path is one complete path lambda_i through a task's DAG: a head-to-tail
+// sequence of vertices, together with the derived quantities the response
+// time analysis consumes.
+type Path struct {
+	Vertices []rt.VertexID
+	Length   rt.Time // L(lambda), sum of vertex WCETs on the path
+	NonCrit  rt.Time // C'(lambda), sum of non-critical WCETs on the path
+	NReq     []int64 // NReq[q] = N^lambda_{i,q}, requests issued on the path
+	onPath   []bool
+}
+
+// Contains reports whether vertex x lies on the path.
+func (p *Path) Contains(x rt.VertexID) bool { return p.onPath[x] }
+
+// Requests returns N^lambda_{i,q} for resource q.
+func (p *Path) Requests(q rt.ResourceID) int64 {
+	if int(q) >= len(p.NReq) {
+		return 0
+	}
+	return p.NReq[q]
+}
+
+// CountPaths returns the number of complete paths in the DAG, saturating at
+// math.MaxInt64. It runs in O(V+E) by dynamic programming over the
+// topological order.
+func (t *Task) CountPaths() int64 {
+	t.mustFinal()
+	count := make([]int64, len(t.Vertices))
+	total := int64(0)
+	// Iterate in reverse topological order: count[x] = paths from x to a tail.
+	for i := len(t.topo) - 1; i >= 0; i-- {
+		x := t.topo[i]
+		if len(t.succ[x]) == 0 {
+			count[x] = 1
+			continue
+		}
+		var c int64
+		for _, y := range t.succ[x] {
+			c = satAddI64(c, count[y])
+		}
+		count[x] = c
+	}
+	for _, h := range t.heads {
+		total = satAddI64(total, count[h])
+	}
+	return total
+}
+
+func satAddI64(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// EnumeratePaths yields every complete path of the DAG, up to the given cap.
+// It returns the collected paths and ok=false when the cap was exceeded (in
+// which case the returned slice is nil and callers should fall back to the
+// path-oblivious EN bounds). A cap <= 0 means unlimited.
+func (t *Task) EnumeratePaths(cap int) (paths []*Path, ok bool) {
+	t.mustFinal()
+	if cap > 0 && t.CountPaths() > int64(cap) {
+		return nil, false
+	}
+	nr := len(t.nReq)
+	var stack []rt.VertexID
+	var rec func(x rt.VertexID)
+	rec = func(x rt.VertexID) {
+		stack = append(stack, x)
+		if len(t.succ[x]) == 0 {
+			paths = append(paths, t.makePath(stack, nr))
+		} else {
+			for _, y := range t.succ[x] {
+				rec(y)
+			}
+		}
+		stack = stack[:len(stack)-1]
+	}
+	for _, h := range t.heads {
+		rec(h)
+	}
+	return paths, true
+}
+
+func (t *Task) makePath(vertices []rt.VertexID, nr int) *Path {
+	p := &Path{
+		Vertices: append([]rt.VertexID(nil), vertices...),
+		NReq:     make([]int64, nr),
+		onPath:   make([]bool, len(t.Vertices)),
+	}
+	for _, x := range vertices {
+		v := t.Vertices[x]
+		p.Length += v.WCET
+		p.NonCrit += t.VertexNonCrit(x)
+		p.onPath[x] = true
+		for q, n := range v.Requests {
+			p.NReq[q] += int64(n)
+		}
+	}
+	return p
+}
+
+// PathBounds holds, for one task, the extreme values over all complete
+// paths of every path-dependent quantity used by the EN analysis. The EN
+// analysis treats the worst-case path as unknown and substitutes, per term,
+// the extreme in the pessimistic direction — a sound relaxation of
+// enumerating the per-resource request counts as in the paper's
+// DPCP-p-EN baseline.
+type PathBounds struct {
+	MaxLength  rt.Time // L*_i
+	MinLength  rt.Time // min over paths of L(lambda)
+	MinNonCrit rt.Time // min over paths of C'(lambda)
+	MinReq     []int64 // per resource: min over paths of N^lambda_{i,q}
+	MaxReq     []int64 // per resource: max over paths of N^lambda_{i,q}
+}
+
+// ComputePathBounds computes PathBounds in O((V+E) * nr) by per-resource
+// dynamic programming over the topological order, without enumerating paths.
+func (t *Task) ComputePathBounds() *PathBounds {
+	t.mustFinal()
+	nr := len(t.nReq)
+	b := &PathBounds{
+		MaxLength: t.longestPath,
+		MinReq:    make([]int64, nr),
+		MaxReq:    make([]int64, nr),
+	}
+
+	// Min non-critical length and min total length over complete paths.
+	b.MinNonCrit = t.minOverPaths(func(x rt.VertexID) int64 {
+		return t.VertexNonCrit(x)
+	})
+	b.MinLength = t.minOverPaths(func(x rt.VertexID) int64 {
+		return t.Vertices[x].WCET
+	})
+
+	for q := 0; q < nr; q++ {
+		if t.nReq[q] == 0 {
+			continue
+		}
+		weight := func(x rt.VertexID) int64 {
+			return int64(t.Vertices[x].Requests[rt.ResourceID(q)])
+		}
+		b.MinReq[q] = t.minOverPaths(weight)
+		b.MaxReq[q] = t.maxOverPaths(weight)
+	}
+	return b
+}
+
+// minOverPaths returns min over complete paths of the sum of w(x) along the
+// path. DP in reverse topological order.
+func (t *Task) minOverPaths(w func(rt.VertexID) int64) int64 {
+	return t.optOverPaths(w, func(a, b int64) bool { return a < b })
+}
+
+// maxOverPaths returns max over complete paths of the sum of w(x).
+func (t *Task) maxOverPaths(w func(rt.VertexID) int64) int64 {
+	return t.optOverPaths(w, func(a, b int64) bool { return a > b })
+}
+
+func (t *Task) optOverPaths(w func(rt.VertexID) int64, better func(a, b int64) bool) int64 {
+	best := make([]int64, len(t.Vertices))
+	seen := make([]bool, len(t.Vertices))
+	for i := len(t.topo) - 1; i >= 0; i-- {
+		x := t.topo[i]
+		if len(t.succ[x]) == 0 {
+			best[x] = w(x)
+			seen[x] = true
+			continue
+		}
+		var opt int64
+		first := true
+		for _, y := range t.succ[x] {
+			if !seen[y] {
+				continue
+			}
+			if first || better(best[y], opt) {
+				opt = best[y]
+				first = false
+			}
+		}
+		best[x] = w(x) + opt
+		seen[x] = true
+	}
+	var opt int64
+	first := true
+	for _, h := range t.heads {
+		if first || better(best[h], opt) {
+			opt = best[h]
+			first = false
+		}
+	}
+	return opt
+}

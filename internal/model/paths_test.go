@@ -1,0 +1,273 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpcpp/internal/rt"
+)
+
+func TestEnumeratePathsGi(t *testing.T) {
+	task := paperTaskGi(t)
+	if got := task.CountPaths(); got != 4 {
+		t.Fatalf("CountPaths = %d, want 4", got)
+	}
+	paths, ok := task.EnumeratePaths(0)
+	if !ok || len(paths) != 4 {
+		t.Fatalf("EnumeratePaths: ok=%v len=%d, want 4 paths", ok, len(paths))
+	}
+	// The longest must be (v1, v5, v7, v8) with L = 10us.
+	var best *Path
+	for _, p := range paths {
+		if best == nil || p.Length > best.Length {
+			best = p
+		}
+	}
+	if best.Length != 10*rt.Microsecond {
+		t.Errorf("longest enumerated path = %v, want 10us", best.Length)
+	}
+	want := []rt.VertexID{0, 4, 6, 7}
+	for i, x := range best.Vertices {
+		if x != want[i] {
+			t.Errorf("longest path vertices = %v, want %v", best.Vertices, want)
+			break
+		}
+	}
+}
+
+func TestPathRequestVectors(t *testing.T) {
+	task := paperTaskGi(t)
+	paths, _ := task.EnumeratePaths(0)
+	// Path through v2 carries the single l1 request; paths through v3 or v4
+	// carry one l2 request each; the path through v5 carries none.
+	counts := map[string]int{}
+	for _, p := range paths {
+		switch {
+		case p.Requests(0) == 1 && p.Requests(1) == 0:
+			counts["l1"]++
+		case p.Requests(0) == 0 && p.Requests(1) == 1:
+			counts["l2"]++
+		case p.Requests(0) == 0 && p.Requests(1) == 0:
+			counts["none"]++
+		default:
+			t.Errorf("unexpected request vector on path %v: l1=%d l2=%d",
+				p.Vertices, p.Requests(0), p.Requests(1))
+		}
+	}
+	if counts["l1"] != 1 || counts["l2"] != 2 || counts["none"] != 1 {
+		t.Errorf("path request distribution = %v, want l1:1 l2:2 none:1", counts)
+	}
+}
+
+func TestPathContains(t *testing.T) {
+	task := paperTaskGi(t)
+	paths, _ := task.EnumeratePaths(0)
+	for _, p := range paths {
+		seen := map[rt.VertexID]bool{}
+		for _, x := range p.Vertices {
+			seen[x] = true
+		}
+		for x := range task.Vertices {
+			if p.Contains(rt.VertexID(x)) != seen[rt.VertexID(x)] {
+				t.Errorf("Contains(%d) inconsistent on path %v", x, p.Vertices)
+			}
+		}
+	}
+}
+
+func TestEnumeratePathsCap(t *testing.T) {
+	task := paperTaskGi(t)
+	if _, ok := task.EnumeratePaths(3); ok {
+		t.Error("EnumeratePaths(cap=3) succeeded on a 4-path DAG, want cap exceeded")
+	}
+	if paths, ok := task.EnumeratePaths(4); !ok || len(paths) != 4 {
+		t.Errorf("EnumeratePaths(cap=4): ok=%v len=%d, want 4", ok, len(paths))
+	}
+}
+
+func TestComputePathBoundsGi(t *testing.T) {
+	task := paperTaskGi(t)
+	b := task.ComputePathBounds()
+	if b.MaxLength != 10*rt.Microsecond {
+		t.Errorf("MaxLength = %v, want 10us", b.MaxLength)
+	}
+	if b.MinReq[0] != 0 || b.MaxReq[0] != 1 {
+		t.Errorf("l1 request bounds = [%d,%d], want [0,1]", b.MinReq[0], b.MaxReq[0])
+	}
+	if b.MinReq[1] != 0 || b.MaxReq[1] != 1 {
+		t.Errorf("l2 request bounds = [%d,%d], want [0,1]", b.MinReq[1], b.MaxReq[1])
+	}
+}
+
+// randomDAGTask builds a random DAG task for property tests: edges only go
+// from lower to higher vertex index, so it is always acyclic.
+func randomDAGTask(r *rand.Rand, nVerts, nRes int) *Task {
+	task := NewTask(0, rt.Second, rt.Second)
+	for i := 0; i < nVerts; i++ {
+		task.AddVertex(rt.Time(1+r.Intn(20)) * rt.Microsecond)
+	}
+	for i := 0; i < nVerts; i++ {
+		for j := i + 1; j < nVerts; j++ {
+			if r.Float64() < 0.2 {
+				task.AddEdge(rt.VertexID(i), rt.VertexID(j))
+			}
+		}
+	}
+	for q := 0; q < nRes; q++ {
+		x := rt.VertexID(r.Intn(nVerts))
+		if task.Vertices[x].WCET >= 2*rt.Microsecond {
+			task.AddRequest(x, rt.ResourceID(q), 1, rt.Microsecond)
+		}
+	}
+	if err := task.Finalize(nRes); err != nil {
+		panic(err)
+	}
+	return task
+}
+
+// Property: for every enumerated path, length and request counts stay within
+// the DP bounds, and the maximum enumerated length equals L*.
+func TestPathBoundsDominateEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		task := randomDAGTask(r, 2+r.Intn(9), 2)
+		b := task.ComputePathBounds()
+		paths, ok := task.EnumeratePaths(100000)
+		if !ok {
+			return true // cap exceeded: nothing to check
+		}
+		var maxLen rt.Time
+		for _, p := range paths {
+			if p.Length > b.MaxLength {
+				return false
+			}
+			if p.Length > maxLen {
+				maxLen = p.Length
+			}
+			if p.NonCrit < b.MinNonCrit {
+				return false
+			}
+			for q := 0; q < 2; q++ {
+				n := p.Requests(rt.ResourceID(q))
+				if n < b.MinReq[q] || n > b.MaxReq[q] {
+					return false
+				}
+			}
+		}
+		return maxLen == b.MaxLength
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the DP bounds are tight, i.e. attained by some enumerated path.
+func TestPathBoundsTight(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		task := randomDAGTask(r, 2+r.Intn(8), 2)
+		b := task.ComputePathBounds()
+		paths, ok := task.EnumeratePaths(100000)
+		if !ok {
+			return true
+		}
+		for q := 0; q < 2; q++ {
+			minSeen, maxSeen := int64(1<<62), int64(-1)
+			for _, p := range paths {
+				n := p.Requests(rt.ResourceID(q))
+				if n < minSeen {
+					minSeen = n
+				}
+				if n > maxSeen {
+					maxSeen = n
+				}
+			}
+			if minSeen != b.MinReq[q] || maxSeen != b.MaxReq[q] {
+				return false
+			}
+		}
+		minNC := rt.Infinity
+		for _, p := range paths {
+			if p.NonCrit < minNC {
+				minNC = p.NonCrit
+			}
+		}
+		return minNC == b.MinNonCrit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CountPaths agrees with enumeration.
+func TestCountPathsMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		task := randomDAGTask(r, 2+r.Intn(8), 1)
+		paths, ok := task.EnumeratePaths(100000)
+		if !ok {
+			return true
+		}
+		return task.CountPaths() == int64(len(paths))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated path is a valid head-to-tail chain of edges.
+func TestEnumeratedPathsAreValidChains(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		task := randomDAGTask(r, 2+r.Intn(8), 1)
+		paths, ok := task.EnumeratePaths(100000)
+		if !ok {
+			return true
+		}
+		isEdge := map[[2]rt.VertexID]bool{}
+		for _, e := range task.Edges {
+			isEdge[[2]rt.VertexID{e.From, e.To}] = true
+		}
+		for _, p := range paths {
+			if len(task.Pred(p.Vertices[0])) != 0 {
+				return false
+			}
+			if len(task.Succ(p.Vertices[len(p.Vertices)-1])) != 0 {
+				return false
+			}
+			for i := 0; i+1 < len(p.Vertices); i++ {
+				if !isEdge[[2]rt.VertexID{p.Vertices[i], p.Vertices[i+1]}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiamondPathCount(t *testing.T) {
+	// k independent diamonds in sequence gives 2^k paths.
+	task := NewTask(0, rt.Second, rt.Second)
+	prev := task.AddVertex(rt.Microsecond)
+	k := 10
+	for i := 0; i < k; i++ {
+		a := task.AddVertex(rt.Microsecond)
+		b := task.AddVertex(rt.Microsecond)
+		join := task.AddVertex(rt.Microsecond)
+		task.AddEdge(prev, a)
+		task.AddEdge(prev, b)
+		task.AddEdge(a, join)
+		task.AddEdge(b, join)
+		prev = join
+	}
+	if err := task.Finalize(0); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if got, want := task.CountPaths(), int64(1<<k); got != want {
+		t.Errorf("CountPaths = %d, want %d", got, want)
+	}
+}

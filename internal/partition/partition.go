@@ -1,0 +1,537 @@
+// Package partition implements the task and resource partitioning of the
+// DPCP-p paper (Sec. V): federated processor assignment with iterative
+// augmentation and rollback (Algorithm 1), and worst-fit-decreasing
+// placement of global resources onto processors by utilization slack
+// (Algorithm 2). A first-fit-decreasing variant is provided as an ablation.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"dpcpp/internal/model"
+	"dpcpp/internal/rt"
+)
+
+// Partition records which processors each task owns (its cluster) and on
+// which processor each global resource is served by agents. Local
+// resources are never placed (they execute within the owning task).
+type Partition struct {
+	TS *model.Taskset
+
+	procs   map[rt.TaskID][]rt.ProcID   // cluster of each task
+	owner   []rt.TaskID                 // owning (heavy) task per processor
+	resProc map[rt.ResourceID]rt.ProcID // placement of global resources
+	resOn   map[rt.ProcID][]rt.ResourceID
+	shared  map[rt.ProcID][]rt.TaskID // light tasks sharing a processor (Sec. VI)
+}
+
+// New returns an empty partition for the taskset.
+func New(ts *model.Taskset) *Partition {
+	p := &Partition{
+		TS:      ts,
+		procs:   make(map[rt.TaskID][]rt.ProcID),
+		owner:   make([]rt.TaskID, ts.NumProcs),
+		resProc: make(map[rt.ResourceID]rt.ProcID),
+		resOn:   make(map[rt.ProcID][]rt.ResourceID),
+		shared:  make(map[rt.ProcID][]rt.TaskID),
+	}
+	for k := range p.owner {
+		p.owner[k] = -1
+	}
+	return p
+}
+
+// Assign grants count additional processors to the task, taking the lowest
+// unassigned processor IDs. It returns false when not enough processors
+// remain.
+func (p *Partition) Assign(id rt.TaskID, count int) bool {
+	if count <= 0 {
+		return true
+	}
+	var free []rt.ProcID
+	for k, o := range p.owner {
+		if o < 0 && len(p.shared[rt.ProcID(k)]) == 0 {
+			free = append(free, rt.ProcID(k))
+			if len(free) == count {
+				break
+			}
+		}
+	}
+	if len(free) < count {
+		return false
+	}
+	for _, k := range free {
+		p.owner[k] = id
+		p.procs[id] = append(p.procs[id], k)
+	}
+	return true
+}
+
+// Unassigned returns the number of processors not assigned to any task,
+// heavy or light.
+func (p *Partition) Unassigned() int {
+	n := 0
+	for k, o := range p.owner {
+		if o < 0 && len(p.shared[rt.ProcID(k)]) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Procs returns the cluster of the task.
+func (p *Partition) Procs(id rt.TaskID) []rt.ProcID { return p.procs[id] }
+
+// NumProcs returns m_i, the cluster size of the task.
+func (p *Partition) NumProcs(id rt.TaskID) int { return len(p.procs[id]) }
+
+// Owner returns the heavy task owning processor k, or -1.
+func (p *Partition) Owner(k rt.ProcID) rt.TaskID { return p.owner[k] }
+
+// AssignShared places a light task on processor k, which may already host
+// other light tasks (Sec. VI: light tasks are treated as sequential tasks
+// on the remaining processors). The processor must not belong to a heavy
+// task's cluster.
+func (p *Partition) AssignShared(id rt.TaskID, k rt.ProcID) error {
+	if p.owner[k] >= 0 {
+		return fmt.Errorf("partition: processor %d belongs to heavy task %d", k, p.owner[k])
+	}
+	for _, other := range p.shared[k] {
+		if other == id {
+			return fmt.Errorf("partition: task %d already on processor %d", id, k)
+		}
+	}
+	p.shared[k] = append(p.shared[k], id)
+	p.procs[id] = append(p.procs[id], k)
+	return nil
+}
+
+// SharedOn returns the light tasks sharing processor k.
+func (p *Partition) SharedOn(k rt.ProcID) []rt.TaskID { return p.shared[k] }
+
+// IsShared reports whether the task was placed with AssignShared, i.e.
+// runs sequentially on a (possibly shared) processor.
+func (p *Partition) IsShared(id rt.TaskID) bool {
+	for _, ks := range p.procs[id] {
+		for _, other := range p.shared[ks] {
+			if other == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PlaceResource assigns global resource q to processor k.
+func (p *Partition) PlaceResource(q rt.ResourceID, k rt.ProcID) {
+	if old, ok := p.resProc[q]; ok {
+		p.removeResOn(old, q)
+	}
+	p.resProc[q] = k
+	p.resOn[k] = append(p.resOn[k], q)
+}
+
+func (p *Partition) removeResOn(k rt.ProcID, q rt.ResourceID) {
+	lst := p.resOn[k]
+	for i, x := range lst {
+		if x == q {
+			p.resOn[k] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// ClearResources removes every resource placement (Algorithm 1's rollback).
+func (p *Partition) ClearResources() {
+	p.resProc = make(map[rt.ResourceID]rt.ProcID)
+	p.resOn = make(map[rt.ProcID][]rt.ResourceID)
+}
+
+// ResourceProc returns the processor serving global resource q, or NoProc
+// when q is local or unplaced.
+func (p *Partition) ResourceProc(q rt.ResourceID) rt.ProcID {
+	if k, ok := p.resProc[q]; ok {
+		return k
+	}
+	return rt.NoProc
+}
+
+// ResourcesOn returns the global resources placed on processor k
+// (the paper's Phi(p_k)).
+func (p *Partition) ResourcesOn(k rt.ProcID) []rt.ResourceID { return p.resOn[k] }
+
+// CoLocated returns the global resources on the same processor as q,
+// including q itself (the paper's Phi^p(l_q)).
+func (p *Partition) CoLocated(q rt.ResourceID) []rt.ResourceID {
+	k := p.ResourceProc(q)
+	if k == rt.NoProc {
+		return nil
+	}
+	return p.resOn[k]
+}
+
+// ClusterResources returns the global resources placed on the cluster of
+// the task (the paper's Phi^p(tau_i)).
+func (p *Partition) ClusterResources(id rt.TaskID) []rt.ResourceID {
+	var out []rt.ResourceID
+	for _, k := range p.procs[id] {
+		out = append(out, p.resOn[k]...)
+	}
+	return out
+}
+
+// Clone returns a deep copy (used by Algorithm 1 to restart cleanly).
+func (p *Partition) Clone() *Partition {
+	c := New(p.TS)
+	copy(c.owner, p.owner)
+	for id, ps := range p.procs {
+		c.procs[id] = append([]rt.ProcID(nil), ps...)
+	}
+	for q, k := range p.resProc {
+		c.resProc[q] = k
+		c.resOn[k] = append(c.resOn[k], q)
+	}
+	for k, ids := range p.shared {
+		c.shared[k] = append([]rt.TaskID(nil), ids...)
+	}
+	return c
+}
+
+// InitialProcs returns the federated starting cluster size of Sec. V:
+// ceil((C_i - L*_i)/(D_i - L*_i)), at least 1.
+func InitialProcs(t *model.Task) (int, error) {
+	num := t.WCET() - t.LongestPath()
+	den := t.Deadline - t.LongestPath()
+	if den <= 0 {
+		return 0, fmt.Errorf("partition: task %d has L*=%s >= D=%s and can never meet its deadline",
+			t.ID, rt.FormatTime(t.LongestPath()), rt.FormatTime(t.Deadline))
+	}
+	m := int(rt.CeilDiv(num, den))
+	if m < 1 {
+		m = 1
+	}
+	return m, nil
+}
+
+// Analyzer computes the worst-case response time of each task under a
+// candidate partition; tasks must be analyzable in any order (the analysis
+// itself walks priorities internally). Implemented by internal/analysis.
+type Analyzer interface {
+	// WCRTs returns a response-time bound per task. A bound above the
+	// task's deadline (or rt.Infinity) marks the task unschedulable under
+	// this partition.
+	WCRTs(p *Partition) map[rt.TaskID]rt.Time
+}
+
+// Result is the outcome of a partitioning run.
+type Result struct {
+	Schedulable bool
+	Partition   *Partition
+	WCRT        map[rt.TaskID]rt.Time
+	Rounds      int    // outer iterations of Algorithm 1
+	Reason      string // why the set was declared unschedulable
+}
+
+// PlacementHeuristic selects the resource-placement strategy.
+type PlacementHeuristic int
+
+const (
+	// WFD is Algorithm 2: worst-fit decreasing by cluster utilization
+	// slack, min-utilization processor within the cluster.
+	WFD PlacementHeuristic = iota
+	// FFD is the first-fit-decreasing ablation: resources go to the first
+	// cluster (by index) with room, min-utilization processor within it.
+	FFD
+)
+
+// Algorithm1 runs the paper's task-and-resource partitioning: initial
+// federated assignment, worst-fit-decreasing resource placement, and
+// schedulability-test-driven processor augmentation with rollback.
+func Algorithm1(ts *model.Taskset, a Analyzer, heuristic PlacementHeuristic) Result {
+	p := New(ts)
+	for _, t := range ts.Tasks {
+		mi, err := InitialProcs(t)
+		if err != nil {
+			return Result{Partition: p, Reason: err.Error()}
+		}
+		if !p.Assign(t.ID, mi) {
+			return Result{Partition: p, Reason: fmt.Sprintf(
+				"not enough processors for initial assignment of task %d", t.ID)}
+		}
+	}
+
+	byPrio := ts.ByPriorityDesc()
+	rounds := 0
+	for {
+		rounds++
+		if rounds > 4*ts.NumProcs+8 {
+			// Algorithm 1 terminates within m-2n rounds on heavy-only
+			// sets; this guard catches degenerate inputs.
+			return Result{Partition: p, Rounds: rounds, Reason: "round limit exceeded"}
+		}
+		p.ClearResources()
+		if !placeResources(p, heuristic) {
+			return Result{Partition: p, Rounds: rounds,
+				Reason: "infeasible global resource allocation"}
+		}
+		wcrts := a.WCRTs(p)
+		augmented := false
+		for _, t := range byPrio {
+			if wcrts[t.ID] <= t.Deadline {
+				continue
+			}
+			if p.Unassigned() == 0 {
+				return Result{Partition: p, WCRT: wcrts, Rounds: rounds,
+					Reason: fmt.Sprintf("task %d misses deadline (R=%s > D=%s) and no processors remain",
+						t.ID, rt.FormatTime(wcrts[t.ID]), rt.FormatTime(t.Deadline))}
+			}
+			p.Assign(t.ID, 1)
+			augmented = true
+			break // rollback resources and retry (paper line 13-14)
+		}
+		if !augmented {
+			return Result{Schedulable: true, Partition: p, WCRT: wcrts, Rounds: rounds}
+		}
+	}
+}
+
+// IterativeFederated performs the same processor-augmentation loop without
+// resource placement; it drives the SPIN, LPP and FED-FP baselines, whose
+// requests execute locally.
+func IterativeFederated(ts *model.Taskset, a Analyzer) Result {
+	p := New(ts)
+	for _, t := range ts.Tasks {
+		mi, err := InitialProcs(t)
+		if err != nil {
+			return Result{Partition: p, Reason: err.Error()}
+		}
+		if !p.Assign(t.ID, mi) {
+			return Result{Partition: p, Reason: fmt.Sprintf(
+				"not enough processors for initial assignment of task %d", t.ID)}
+		}
+	}
+	byPrio := ts.ByPriorityDesc()
+	rounds := 0
+	for {
+		rounds++
+		if rounds > 4*ts.NumProcs+8 {
+			return Result{Partition: p, Rounds: rounds, Reason: "round limit exceeded"}
+		}
+		wcrts := a.WCRTs(p)
+		augmented := false
+		for _, t := range byPrio {
+			if wcrts[t.ID] <= t.Deadline {
+				continue
+			}
+			if p.Unassigned() == 0 {
+				return Result{Partition: p, WCRT: wcrts, Rounds: rounds,
+					Reason: fmt.Sprintf("task %d misses deadline and no processors remain", t.ID)}
+			}
+			p.Assign(t.ID, 1)
+			augmented = true
+			break
+		}
+		if !augmented {
+			return Result{Schedulable: true, Partition: p, WCRT: wcrts, Rounds: rounds}
+		}
+	}
+}
+
+// AlgorithmMixed extends Algorithm 1 to sets containing light tasks
+// (Sec. VI): heavy tasks receive federated clusters exactly as in
+// Algorithm 1, light tasks are packed worst-fit-decreasing by utilization
+// onto the remaining processors (several lights may share one processor),
+// global resources are placed on the heavy clusters by Algorithm 2, and
+// the augmentation loop grows the cluster of the first failing heavy
+// task. A failing light task is terminal: the paper leaves optimal light
+// handling open, and this implementation does not re-pack lights.
+func AlgorithmMixed(ts *model.Taskset, a Analyzer, heuristic PlacementHeuristic) Result {
+	p := New(ts)
+	var lights []*model.Task
+	for _, t := range ts.Tasks {
+		if !t.Heavy() {
+			lights = append(lights, t)
+			continue
+		}
+		mi, err := InitialProcs(t)
+		if err != nil {
+			return Result{Partition: p, Reason: err.Error()}
+		}
+		if !p.Assign(t.ID, mi) {
+			return Result{Partition: p, Reason: fmt.Sprintf(
+				"not enough processors for initial assignment of heavy task %d", t.ID)}
+		}
+	}
+
+	// Light tasks: worst-fit decreasing by utilization over the remaining
+	// processors; a processor may host several lights while its total
+	// utilization stays at or below 1.
+	if len(lights) > 0 {
+		var pool []rt.ProcID
+		for k := 0; k < ts.NumProcs; k++ {
+			if p.Owner(rt.ProcID(k)) < 0 {
+				pool = append(pool, rt.ProcID(k))
+			}
+		}
+		if len(pool) == 0 {
+			return Result{Partition: p, Reason: "no processors left for light tasks"}
+		}
+		sort.SliceStable(lights, func(a, b int) bool {
+			ua, ub := lights[a].Utilization(), lights[b].Utilization()
+			if ua != ub {
+				return ua > ub
+			}
+			return lights[a].ID < lights[b].ID
+		})
+		util := make(map[rt.ProcID]float64, len(pool))
+		for _, t := range lights {
+			best := rt.NoProc
+			for _, k := range pool {
+				if best == rt.NoProc || util[k] < util[best] {
+					best = k
+				}
+			}
+			if util[best]+t.Utilization() > 1.0+1e-9 {
+				return Result{Partition: p, Reason: fmt.Sprintf(
+					"light task %d does not fit on any remaining processor", t.ID)}
+			}
+			if err := p.AssignShared(t.ID, best); err != nil {
+				return Result{Partition: p, Reason: err.Error()}
+			}
+			util[best] += t.Utilization()
+		}
+	}
+
+	byPrio := ts.ByPriorityDesc()
+	rounds := 0
+	for {
+		rounds++
+		if rounds > 4*ts.NumProcs+8 {
+			return Result{Partition: p, Rounds: rounds, Reason: "round limit exceeded"}
+		}
+		p.ClearResources()
+		if !placeResources(p, heuristic) {
+			return Result{Partition: p, Rounds: rounds,
+				Reason: "infeasible global resource allocation"}
+		}
+		wcrts := a.WCRTs(p)
+		augmented := false
+		for _, t := range byPrio {
+			if wcrts[t.ID] <= t.Deadline {
+				continue
+			}
+			if p.IsShared(t.ID) || p.Unassigned() == 0 {
+				return Result{Partition: p, WCRT: wcrts, Rounds: rounds,
+					Reason: fmt.Sprintf("task %d misses deadline (R=%s > D=%s)",
+						t.ID, rt.FormatTime(wcrts[t.ID]), rt.FormatTime(t.Deadline))}
+			}
+			p.Assign(t.ID, 1)
+			augmented = true
+			break
+		}
+		if !augmented {
+			return Result{Schedulable: true, Partition: p, WCRT: wcrts, Rounds: rounds}
+		}
+	}
+}
+
+// placeResources runs Algorithm 2 (WFD) or the FFD ablation. It returns
+// false when some resource cannot fit in any cluster without exceeding its
+// capacity.
+func placeResources(p *Partition, heuristic PlacementHeuristic) bool {
+	ts := p.TS
+	globals := ts.GlobalResources()
+	sort.SliceStable(globals, func(a, b int) bool {
+		ua, ub := ts.ResourceUtilization(globals[a]), ts.ResourceUtilization(globals[b])
+		if ua != ub {
+			return ua > ub
+		}
+		return globals[a] < globals[b]
+	})
+
+	type cluster struct {
+		task     *model.Task
+		capacity float64
+		util     float64
+		procUtil map[rt.ProcID]float64
+	}
+	var clusters []*cluster
+	for _, t := range ts.Tasks {
+		procs := p.Procs(t.ID)
+		if len(procs) == 0 || p.IsShared(t.ID) {
+			continue
+		}
+		c := &cluster{task: t, capacity: float64(len(procs)), util: t.Utilization(),
+			procUtil: make(map[rt.ProcID]float64, len(procs))}
+		for _, k := range procs {
+			c.procUtil[k] = 0
+		}
+		clusters = append(clusters, c)
+	}
+	if len(clusters) == 0 {
+		// All-light systems: fall back to per-processor pseudo-clusters so
+		// the original DPCP placement still has somewhere to put agents.
+		for k := 0; k < ts.NumProcs; k++ {
+			ids := p.SharedOn(rt.ProcID(k))
+			if len(ids) == 0 {
+				continue
+			}
+			util := 0.0
+			for _, id := range ids {
+				util += ts.Task(id).Utilization()
+			}
+			c := &cluster{task: ts.Task(ids[0]), capacity: 1, util: util,
+				procUtil: map[rt.ProcID]float64{rt.ProcID(k): 0}}
+			clusters = append(clusters, c)
+		}
+	}
+	if len(clusters) == 0 {
+		return len(globals) == 0
+	}
+
+	for _, q := range globals {
+		uq := ts.ResourceUtilization(q)
+		var chosen *cluster
+		switch heuristic {
+		case WFD:
+			for _, c := range clusters {
+				if chosen == nil || c.capacity-c.util > chosen.capacity-chosen.util {
+					chosen = c
+				}
+			}
+		case FFD:
+			for _, c := range clusters {
+				if c.util+uq <= c.capacity {
+					chosen = c
+					break
+				}
+			}
+			if chosen == nil {
+				chosen = clusters[0]
+			}
+		}
+		if chosen.util+uq > chosen.capacity {
+			return false
+		}
+		// Min resource-utilization processor within the cluster
+		// (Algorithm 2 line 9), ties by processor ID for determinism.
+		var bestProc rt.ProcID = rt.NoProc
+		for _, k := range p.Procs(chosen.task.ID) {
+			if bestProc == rt.NoProc || c2less(chosen.procUtil[k], k, chosen.procUtil[bestProc], bestProc) {
+				bestProc = k
+			}
+		}
+		p.PlaceResource(q, bestProc)
+		chosen.procUtil[bestProc] += uq
+		chosen.util += uq
+	}
+	return true
+}
+
+func c2less(u1 float64, k1 rt.ProcID, u2 float64, k2 rt.ProcID) bool {
+	if u1 != u2 {
+		return u1 < u2
+	}
+	return k1 < k2
+}

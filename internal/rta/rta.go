@@ -1,0 +1,49 @@
+// Package rta provides the generic fixed-point iteration used by every
+// response-time analysis in this repository (Lemma 2's request response
+// times and Theorem 1's path response times are both least fixed points of
+// monotone recurrences).
+package rta
+
+import "dpcpp/internal/rt"
+
+// MaxIterations bounds a single fixed-point computation; recurrences over
+// integer nanoseconds converge long before this on any schedulable input.
+const MaxIterations = 1 << 20
+
+// FixPoint computes the least fixed point of the monotone function f
+// starting from x0, i.e. the limit of x_{k+1} = f(x_k). It stops as soon as
+// the iterate exceeds limit and reports converged=false (callers treat that
+// as "deadline exceeded / unschedulable"). f must satisfy f(x) >= x0 and be
+// monotone non-decreasing for the result to be the least fixed point.
+func FixPoint(x0, limit rt.Time, f func(rt.Time) rt.Time) (x rt.Time, converged bool) {
+	x = x0
+	for i := 0; i < MaxIterations; i++ {
+		if x > limit {
+			return x, false
+		}
+		next := f(x)
+		if next < x {
+			// A non-monotone step indicates a bug in the caller's
+			// recurrence; clamp rather than loop forever.
+			return x, true
+		}
+		if next == x {
+			return x, true
+		}
+		x = next
+	}
+	return rt.Infinity, false
+}
+
+// Eta returns eta_j(L) = ceil((L + R) / T), the maximum number of jobs of a
+// task with period T and response-time bound R that can overlap a window of
+// length L (Sec. IV-B).
+func Eta(L, R, T rt.Time) int64 {
+	if L < 0 {
+		return 0
+	}
+	if rt.SatAdd(L, R) >= rt.Infinity {
+		return int64(rt.Infinity)
+	}
+	return rt.CeilDiv(L+R, T)
+}

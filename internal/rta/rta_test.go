@@ -1,0 +1,111 @@
+package rta
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpcpp/internal/rt"
+)
+
+func TestFixPointConstant(t *testing.T) {
+	x, ok := FixPoint(5, 100, func(x rt.Time) rt.Time { return 42 })
+	if !ok || x != 42 {
+		t.Errorf("FixPoint(const 42) = %d, %v", x, ok)
+	}
+}
+
+func TestFixPointIdentity(t *testing.T) {
+	x, ok := FixPoint(7, 100, func(x rt.Time) rt.Time { return x })
+	if !ok || x != 7 {
+		t.Errorf("FixPoint(identity) = %d, %v", x, ok)
+	}
+}
+
+func TestFixPointClassicRTA(t *testing.T) {
+	// Classic uniprocessor RTA: C=2, one higher-priority task C=1, T=4.
+	// R = 2 + ceil(R/4)*1 -> R = 3.
+	f := func(x rt.Time) rt.Time { return 2 + rt.CeilDiv(x, 4) }
+	x, ok := FixPoint(2, 100, f)
+	if !ok || x != 3 {
+		t.Errorf("classic RTA fixed point = %d, %v; want 3", x, ok)
+	}
+}
+
+func TestFixPointDivergence(t *testing.T) {
+	f := func(x rt.Time) rt.Time { return x + 1 }
+	x, ok := FixPoint(0, 50, f)
+	if ok {
+		t.Errorf("divergent recurrence reported converged at %d", x)
+	}
+	if x <= 50 {
+		t.Errorf("divergent recurrence stopped below limit: %d", x)
+	}
+}
+
+func TestFixPointLimitExceededImmediately(t *testing.T) {
+	if _, ok := FixPoint(200, 100, func(x rt.Time) rt.Time { return x }); ok {
+		t.Error("x0 above limit must report non-convergence")
+	}
+}
+
+func TestFixPointIsLeast(t *testing.T) {
+	// f has fixed points at 10 and 20 (staircase); starting below 10 we
+	// must land on 10.
+	f := func(x rt.Time) rt.Time {
+		if x <= 10 {
+			return 10
+		}
+		return 20
+	}
+	x, ok := FixPoint(0, 100, f)
+	if !ok || x != 10 {
+		t.Errorf("least fixed point = %d, %v; want 10", x, ok)
+	}
+}
+
+func TestEta(t *testing.T) {
+	cases := []struct {
+		L, R, T rt.Time
+		want    int64
+	}{
+		{0, 0, 10, 0},
+		{1, 0, 10, 1},
+		{10, 0, 10, 1},
+		{11, 0, 10, 2},
+		{10, 5, 10, 2},
+		{100, 10, 10, 11},
+		{-5, 3, 10, 0},
+	}
+	for _, c := range cases {
+		if got := Eta(c.L, c.R, c.T); got != c.want {
+			t.Errorf("Eta(%d,%d,%d) = %d, want %d", c.L, c.R, c.T, got, c.want)
+		}
+	}
+}
+
+func TestEtaMonotoneInWindow(t *testing.T) {
+	f := func(l1, l2 uint16, r uint8, tRaw uint8) bool {
+		T := rt.Time(tRaw%100) + 1
+		R := rt.Time(r)
+		a, b := rt.Time(l1), rt.Time(l2)
+		if a > b {
+			a, b = b, a
+		}
+		return Eta(a, R, T) <= Eta(b, R, T)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEtaCountsJobs(t *testing.T) {
+	// Property: eta(L) * T >= L (enough jobs to cover the window when R=T).
+	f := func(lRaw uint16, tRaw uint8) bool {
+		T := rt.Time(tRaw%50) + 1
+		L := rt.Time(lRaw)
+		return Eta(L, T, T)*T >= L
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

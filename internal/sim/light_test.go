@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+
+	"dpcpp/internal/model"
+	"dpcpp/internal/partition"
+	"dpcpp/internal/rt"
+)
+
+// lightFixture: two light tasks sharing processor 0 (hi: C=5us T=50us,
+// lo: C=10us T=100us with one 2us CS on global l0), plus a third light on
+// processor 1 hosting l0's agents.
+func lightFixture(t *testing.T) (*model.Taskset, *partition.Partition) {
+	t.Helper()
+	ts := model.NewTaskset(2, 1)
+	lo := model.NewTask(0, 100*us, 100*us)
+	vl := lo.AddVertex(10 * us)
+	lo.AddRequest(vl, 0, 1, 2*us)
+	ts.Add(lo)
+	remote := model.NewTask(1, 200*us, 200*us)
+	vr := remote.AddVertex(20 * us)
+	remote.AddRequest(vr, 0, 1, 3*us)
+	ts.Add(remote)
+	hi := model.NewTask(2, 50*us, 50*us)
+	hi.AddVertex(5 * us)
+	ts.Add(hi)
+	if err := ts.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	p := partition.New(ts)
+	for _, a := range []struct {
+		id rt.TaskID
+		k  rt.ProcID
+	}{{0, 0}, {2, 0}, {1, 1}} {
+		if err := p.AssignShared(a.id, a.k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.PlaceResource(0, 1)
+	return ts, p
+}
+
+func TestSharedProcessorPriorityScheduling(t *testing.T) {
+	ts, p := lightFixture(t)
+	// Synchronous release: hi (prio highest) runs [0,5) on p0; lo's
+	// request to l0 runs remotely [0,2) on p1 while lo is suspended;
+	// remote's request waits for lo's, then [2,5); lo's vertex resumes
+	// only at t=5 when hi finishes: [5,13). remote: CS done at 5, then
+	// noncrit [5,22) interleaved with its processor hosting no more
+	// agents. Responses: hi=5, lo=13, remote=22.
+	s, err := New(ts, p, Config{Horizon: 40 * us, Placement: FrontCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if got := m.MaxResponse[2]; got != 5*us {
+		t.Errorf("response(hi) = %s, want 5us", rt.FormatTime(got))
+	}
+	if got := m.MaxResponse[0]; got != 13*us {
+		t.Errorf("response(lo) = %s, want 13us", rt.FormatTime(got))
+	}
+	if got := m.MaxResponse[1]; got != 22*us {
+		t.Errorf("response(remote) = %s, want 22us", rt.FormatTime(got))
+	}
+}
+
+func TestSharedProcessorPreemption(t *testing.T) {
+	// lo starts executing at t=2 (after its remote CS [0,2)); hi releases
+	// at t=4 and must preempt lo immediately: lo runs [2,4) and [9,15).
+	ts, p := lightFixture(t)
+	s, err := New(ts, p, Config{
+		Horizon:   40 * us,
+		Placement: FrontCS,
+		Offsets:   map[rt.TaskID]rt.Time{2: 4 * us},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	// hi preempts at 4, runs [4,9): its response is 5us.
+	if got := m.MaxResponse[2]; got != 5*us {
+		t.Errorf("response(hi) = %s, want 5us (immediate preemption)", rt.FormatTime(got))
+	}
+	// lo: CS [0,2), exec [2,4), preempted [4,9), exec [9,15): response 15us.
+	if got := m.MaxResponse[0]; got != 15*us {
+		t.Errorf("response(lo) = %s, want 15us", rt.FormatTime(got))
+	}
+}
+
+func TestMixedHeavyLightSimulation(t *testing.T) {
+	// A heavy fork-join task on procs {0,1} plus two lights sharing proc 2,
+	// all contending for one global resource hosted on the heavy cluster.
+	ts := model.NewTaskset(3, 1)
+	h := model.NewTask(0, 100*us, 100*us)
+	head := h.AddVertex(10 * us)
+	for i := 0; i < 4; i++ {
+		v := h.AddVertex(20 * us)
+		h.AddEdge(head, v)
+		h.AddRequest(v, 0, 1, 2*us)
+	}
+	ts.Add(h)
+	for id := 1; id <= 2; id++ {
+		l := model.NewTask(rt.TaskID(id), rt.Time(150+50*id)*us, rt.Time(150+50*id)*us)
+		vl := l.AddVertex(15 * us)
+		l.AddRequest(vl, 0, 2, 3*us)
+		ts.Add(l)
+	}
+	if err := ts.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	p := partition.New(ts)
+	if !p.Assign(0, 2) {
+		t.Fatal("assign heavy")
+	}
+	if err := p.AssignShared(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignShared(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	p.PlaceResource(0, 0)
+
+	s, err := New(ts, p, Config{Horizon: 400 * us})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if m.MaxLowPrioBlockers > 1 {
+		t.Errorf("Lemma 1 violated in mixed system: %d", m.MaxLowPrioBlockers)
+	}
+	if m.Jobs < 8 {
+		t.Errorf("expected several jobs, got %d", m.Jobs)
+	}
+	for id := rt.TaskID(0); id <= 2; id++ {
+		if m.MaxResponse[id] == 0 {
+			t.Errorf("task %d never completed a job", id)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/model"
+	"dpcpp/internal/partition"
+	"dpcpp/internal/rt"
+	"dpcpp/internal/taskgen"
+)
+
+// spinFixture: two single-vertex tasks on their own processors, both
+// FrontCS on global l0. Task A (hi): C=10us, CS=2us; B (lo): C=20us,
+// CS=6us. Under ProtocolSpin with B released first (offset A=1us):
+//
+//	t=0: B locks l0, executes CS locally on p1 [0,6).
+//	t=1: A starts, hits its CS, spins on p0 [1,6) — burning its core.
+//	t=6: A acquires, CS [6,8) on p0, then noncrit [8,16).
+//	B: noncrit [6,20+...) wait B: C=20, CS 6 -> noncrit 14: [6,20).
+//
+// Responses: A = 15us (16-1), B = 20us. SpinTime = 5us.
+func spinFixture(t *testing.T) (*model.Taskset, *partition.Partition) {
+	t.Helper()
+	ts := model.NewTaskset(2, 1)
+	a := model.NewTask(0, 100*us, 100*us)
+	va := a.AddVertex(10 * us)
+	a.AddRequest(va, 0, 1, 2*us)
+	ts.Add(a)
+	b := model.NewTask(1, 200*us, 200*us)
+	vb := b.AddVertex(20 * us)
+	b.AddRequest(vb, 0, 1, 6*us)
+	ts.Add(b)
+	if err := ts.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	p := partition.New(ts)
+	p.Assign(0, 1)
+	p.Assign(1, 1)
+	return ts, p
+}
+
+func TestSpinProtocolHandTraced(t *testing.T) {
+	ts, p := spinFixture(t)
+	s, err := New(ts, p, Config{
+		Protocol:  ProtocolSpin,
+		Horizon:   50 * us,
+		Placement: FrontCS,
+		Offsets:   map[rt.TaskID]rt.Time{0: 1 * us},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if got := m.MaxResponse[0]; got != 15*us {
+		t.Errorf("response(A) = %s, want 15us", rt.FormatTime(got))
+	}
+	if got := m.MaxResponse[1]; got != 20*us {
+		t.Errorf("response(B) = %s, want 20us", rt.FormatTime(got))
+	}
+	if got := m.SpinTime; got != 5*us {
+		t.Errorf("SpinTime = %s, want 5us", rt.FormatTime(got))
+	}
+	if m.Requests != 0 {
+		t.Errorf("spin mode must not serve agent requests, got %d", m.Requests)
+	}
+}
+
+func TestLPPProtocolHandTraced(t *testing.T) {
+	// Same fixture under LPP: A suspends instead of spinning, so its
+	// processor is free (no other work here, responses match spin's) and
+	// SpinTime stays zero while a suspension is recorded.
+	ts, p := spinFixture(t)
+	s, err := New(ts, p, Config{
+		Protocol:  ProtocolLPP,
+		Horizon:   50 * us,
+		Placement: FrontCS,
+		Offsets:   map[rt.TaskID]rt.Time{0: 1 * us},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if got := m.MaxResponse[0]; got != 15*us {
+		t.Errorf("response(A) = %s, want 15us", rt.FormatTime(got))
+	}
+	if m.SpinTime != 0 {
+		t.Errorf("LPP must not spin, got %s", rt.FormatTime(m.SpinTime))
+	}
+	if m.Suspensions != 1 {
+		t.Errorf("Suspensions = %d, want 1", m.Suspensions)
+	}
+}
+
+func TestSpinOccupiesProcessor(t *testing.T) {
+	// One task, two parallel vertices on TWO processors, both racing for
+	// l0 (local resource, but spin mode treats all locks alike), plus a
+	// third vertex of plain work. While vertex 2 spins, the third vertex
+	// cannot run (both processors busy) — the defining cost of spinning.
+	// Under LPP the suspension frees the core and the third vertex runs
+	// earlier.
+	build := func() (*model.Taskset, *partition.Partition) {
+		ts := model.NewTaskset(2, 1)
+		task := model.NewTask(0, 200*us, 200*us)
+		task.AddVertex(10 * us) // v0: CS race
+		task.AddVertex(10 * us) // v1: CS race
+		task.AddVertex(6 * us)  // v2: plain
+		task.AddRequest(0, 0, 1, 8*us)
+		task.AddRequest(1, 0, 1, 8*us)
+		if err := task.Finalize(1); err != nil {
+			t.Fatal(err)
+		}
+		ts.Add(task)
+		if err := ts.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		p := partition.New(ts)
+		p.Assign(0, 2)
+		return ts, p
+	}
+
+	ts, p := build()
+	spin, err := New(ts, p, Config{Protocol: ProtocolSpin, Horizon: 100 * us, Placement: FrontCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSpin, err := spin.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := spin.Violations(); len(v) > 0 {
+		t.Fatalf("spin violations: %v", v)
+	}
+
+	ts2, p2 := build()
+	lpp, err := New(ts2, p2, Config{Protocol: ProtocolLPP, Horizon: 100 * us, Placement: FrontCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLPP, err := lpp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := lpp.Violations(); len(v) > 0 {
+		t.Fatalf("lpp violations: %v", v)
+	}
+
+	if mSpin.SpinTime == 0 {
+		t.Error("expected busy-waiting in the spin run")
+	}
+	// Spin: v0 CS [0,8), v1 spins [0,8), CS [8,16); v2 can only start at 8:
+	// makespan 8+2(v0 rest)=...: v0 noncrit [8,10), v2 [8,14) on other? v1
+	// holds p1 executing CS [8,16), v0's proc runs v0 [8,10) then v2
+	// [10,16): makespan 18 vs LPP: v1 suspends at 0, v2 runs [0,6) on p1,
+	// v1 CS [8,16) after v0 releases... LPP response must not be worse.
+	if mLPP.MaxResponse[0] > mSpin.MaxResponse[0] {
+		t.Errorf("LPP response %s worse than spin %s on this workload",
+			rt.FormatTime(mLPP.MaxResponse[0]), rt.FormatTime(mSpin.MaxResponse[0]))
+	}
+}
+
+// TestBaselineAnalysesBoundTheirRuntimes: the SPIN and LPP analyses must
+// upper-bound the responses their own runtime protocols produce.
+func TestBaselineAnalysesBoundTheirRuntimes(t *testing.T) {
+	scen := taskgen.Scenario{
+		M:          8,
+		NumRes:     taskgen.IntRange{Lo: 2, Hi: 4},
+		UAvg:       1.5,
+		PAccess:    0.75,
+		NReq:       taskgen.IntRange{Lo: 1, Hi: 8},
+		CSLen:      taskgen.TimeRange{Lo: 15 * us, Hi: 50 * us},
+		VertsRange: taskgen.IntRange{Lo: 6, Hi: 14},
+		EdgeProb:   0.15,
+		PeriodLo:   1 * rt.Millisecond,
+		PeriodHi:   8 * rt.Millisecond,
+	}
+	g := taskgen.NewGenerator(scen)
+
+	cases := []struct {
+		method   analysis.Method
+		protocol Protocol
+	}{
+		{analysis.SPIN, ProtocolSpin},
+		{analysis.LPP, ProtocolLPP},
+	}
+	for _, tc := range cases {
+		checked := 0
+		for seed := int64(0); seed < 60 && checked < 8; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			ts, err := g.Taskset(r, 2.0+r.Float64()*2.5)
+			if err != nil {
+				continue
+			}
+			res := analysis.Test(tc.method, ts, analysis.Options{})
+			if !res.Schedulable {
+				continue
+			}
+			checked++
+			var horizon rt.Time
+			for _, task := range ts.Tasks {
+				if task.Period > horizon {
+					horizon = task.Period
+				}
+			}
+			for _, placement := range []CSPlacement{SpreadCS, FrontCS, BackCS} {
+				s, err := New(ts, res.Partition, Config{
+					Protocol: tc.protocol, Horizon: 3 * horizon, Placement: placement})
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", tc.method, seed, err)
+				}
+				m, err := s.Run()
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", tc.method, seed, err)
+				}
+				if v := s.Violations(); len(v) > 0 {
+					t.Fatalf("%s seed %d: violations: %v", tc.method, seed, v)
+				}
+				if m.DeadlineMisses != 0 {
+					t.Errorf("%s seed %d placement %d: deadline misses on analyzed-schedulable set",
+						tc.method, seed, placement)
+				}
+				for _, task := range ts.Tasks {
+					if m.MaxResponse[task.ID] > res.WCRT[task.ID] {
+						t.Errorf("%s seed %d placement %d task %d: simulated %s > bound %s",
+							tc.method, seed, placement, task.ID,
+							rt.FormatTime(m.MaxResponse[task.ID]), rt.FormatTime(res.WCRT[task.ID]))
+					}
+				}
+			}
+		}
+		if checked == 0 {
+			t.Errorf("%s: no schedulable taskset generated", tc.method)
+		}
+	}
+}

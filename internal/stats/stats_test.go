@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, 1, 4, 1, 5})
+	if min != 1 || max != 5 {
+		t.Errorf("MinMax = %g, %g", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = %g, %g", min, max)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %g", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %g", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Errorf("Ratio = %g", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Errorf("Ratio(1,0) = %g", got)
+	}
+}
+
+func TestMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		min, max := MinMax(xs)
+		m := Mean(xs)
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianIsElementOrMidpoint(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		med := Median(xs)
+		min, max := MinMax(xs)
+		return med >= min && med <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package taskgen synthesizes random tasksets following the experimental
+// setup of the DPCP-p paper (Sec. VII-A): task utilizations drawn with the
+// RandFixedSum algorithm, DAG structures from the Erdős–Rényi method of
+// Cordeiro et al., log-uniform periods, and per-resource request parameters
+// drawn from the paper's ranges.
+package taskgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandFixedSum draws n values, each in [lo, hi], whose sum is total, using
+// Roger Stafford's randfixedsum algorithm (the generator recommended by
+// Emberson, Stafford and Davis, WATERS 2010, and cited by the paper).
+// The returned slice is randomly permuted so that no position is biased.
+func RandFixedSum(r *rand.Rand, n int, total, lo, hi float64) ([]float64, error) {
+	switch {
+	case n <= 0:
+		return nil, fmt.Errorf("taskgen: RandFixedSum needs n > 0, got %d", n)
+	case hi < lo:
+		return nil, fmt.Errorf("taskgen: RandFixedSum needs hi >= lo, got [%g, %g]", lo, hi)
+	case total < lo*float64(n)-1e-9 || total > hi*float64(n)+1e-9:
+		return nil, fmt.Errorf("taskgen: sum %g infeasible for %d values in [%g, %g]",
+			total, n, lo, hi)
+	}
+	if n == 1 {
+		return []float64{total}, nil
+	}
+	if hi == lo {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = lo
+		}
+		return out, nil
+	}
+
+	s := (total - float64(n)*lo) / (hi - lo) // normalized target in [0, n]
+	x := randFixedSum01(r, n, s)
+	for i := range x {
+		x[i] = lo + x[i]*(hi-lo)
+	}
+	r.Shuffle(n, func(i, j int) { x[i], x[j] = x[j], x[i] })
+	return x, nil
+}
+
+// randFixedSum01 draws n values in [0,1] summing to s (0 <= s <= n),
+// uniformly over that section of the unit hypercube. Port of Stafford's
+// MATLAB randfixedsum with per-row renormalization of the probability
+// table to avoid overflow/underflow for large n.
+func randFixedSum01(r *rand.Rand, n int, s float64) []float64 {
+	s = math.Max(math.Min(s, float64(n)), 0)
+	k := int(math.Floor(s))
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	s = math.Max(math.Min(s, float64(k+1)), float64(k))
+
+	s1 := make([]float64, n)
+	s2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s1[i] = s - float64(k-i)
+		s2[i] = float64(k+n-i) - s
+	}
+
+	const tiny = math.SmallestNonzeroFloat64
+	w := make([][]float64, n+1)
+	for i := range w {
+		w[i] = make([]float64, n+2)
+	}
+	w[1][1+1] = 1 // the MATLAB original seeds with realmax; scale is arbitrary
+	tbl := make([][]float64, n)
+	for i := range tbl {
+		tbl[i] = make([]float64, n+1)
+	}
+
+	for i := 2; i <= n; i++ {
+		rowMax := 0.0
+		for j := 1; j <= i; j++ {
+			tmp1 := w[i-1][j+1] * s1[j-1] / float64(i)
+			tmp2 := w[i-1][j] * s2[n-i+j-1] / float64(i)
+			w[i][j+1] = tmp1 + tmp2
+			tmp3 := w[i][j+1] + tiny
+			if s2[n-i+j-1] > s1[j-1] {
+				tbl[i-1][j] = tmp2 / tmp3
+			} else {
+				tbl[i-1][j] = 1 - tmp1/tmp3
+			}
+			if w[i][j+1] > rowMax {
+				rowMax = w[i][j+1]
+			}
+		}
+		if rowMax > 0 {
+			for j := 1; j <= i; j++ {
+				w[i][j+1] /= rowMax
+			}
+		}
+	}
+
+	x := make([]float64, n)
+	sv := s
+	j := k + 1
+	sm, pr := 0.0, 1.0
+	for i := n - 1; i >= 1; i-- {
+		var e float64
+		if j <= len(tbl[i])-1 && j >= 1 && r.Float64() <= tbl[i][j] {
+			e = 1
+		}
+		sx := math.Pow(r.Float64(), 1/float64(i))
+		sm += (1 - sx) * pr * sv / float64(i+1)
+		pr *= sx
+		x[n-i-1] = sm + pr*e
+		sv -= e
+		j -= int(e)
+	}
+	x[n-1] = sm + pr*sv
+	return x
+}
+
+// LogUniform draws a value log-uniformly from [lo, hi].
+func LogUniform(r *rand.Rand, lo, hi float64) float64 {
+	if lo <= 0 || hi < lo {
+		panic(fmt.Sprintf("taskgen: LogUniform needs 0 < lo <= hi, got [%g, %g]", lo, hi))
+	}
+	if lo == hi {
+		return lo
+	}
+	return math.Exp(math.Log(lo) + r.Float64()*(math.Log(hi)-math.Log(lo)))
+}
+
+// UniformInt draws an integer uniformly from [lo, hi] inclusive.
+func UniformInt(r *rand.Rand, lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("taskgen: UniformInt needs hi >= lo, got [%d, %d]", lo, hi))
+	}
+	return lo + r.Intn(hi-lo+1)
+}

@@ -1,0 +1,201 @@
+package taskgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandFixedSumSumAndBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(12)
+		lo := 1.0
+		hi := 4.0
+		minSum, maxSum := lo*float64(n), hi*float64(n)
+		total := minSum + r.Float64()*(maxSum-minSum)
+		xs, err := RandFixedSum(r, n, total, lo, hi)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sum := 0.0
+		for _, x := range xs {
+			if x < lo-1e-9 || x > hi+1e-9 {
+				t.Fatalf("trial %d: value %g outside [%g,%g]", trial, x, lo, hi)
+			}
+			sum += x
+		}
+		if math.Abs(sum-total) > 1e-6*math.Max(1, total) {
+			t.Fatalf("trial %d: sum %g != total %g", trial, sum, total)
+		}
+	}
+}
+
+func TestRandFixedSumEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+
+	xs, err := RandFixedSum(r, 1, 3.7, 1, 4)
+	if err != nil || len(xs) != 1 || xs[0] != 3.7 {
+		t.Errorf("n=1: got %v, %v", xs, err)
+	}
+
+	xs, err = RandFixedSum(r, 5, 10, 2, 2)
+	if err != nil {
+		t.Fatalf("degenerate range: %v", err)
+	}
+	for _, x := range xs {
+		if x != 2 {
+			t.Errorf("degenerate range: got %v", xs)
+			break
+		}
+	}
+
+	if _, err := RandFixedSum(r, 0, 1, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := RandFixedSum(r, 3, 100, 1, 4); err == nil {
+		t.Error("infeasible total accepted")
+	}
+	if _, err := RandFixedSum(r, 3, 2, 4, 1); err == nil {
+		t.Error("hi < lo accepted")
+	}
+}
+
+func TestRandFixedSumExtremeTotals(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Total at the very bottom and very top of the feasible interval.
+	for _, total := range []float64{5.000001, 19.999999} {
+		xs, err := RandFixedSum(r, 5, total, 1, 4)
+		if err != nil {
+			t.Fatalf("total=%g: %v", total, err)
+		}
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		if math.Abs(sum-total) > 1e-6 {
+			t.Errorf("total=%g: sum=%g", total, sum)
+		}
+	}
+}
+
+func TestRandFixedSumLargeN(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	n := 64
+	total := 96.0
+	xs, err := RandFixedSum(r, n, total, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 1-1e-9 || x > 4+1e-9 {
+			t.Fatalf("value %g out of range", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-total) > 1e-5 {
+		t.Errorf("sum = %g, want %g", sum, total)
+	}
+}
+
+func TestRandFixedSumMeanIsUnbiased(t *testing.T) {
+	// The marginal mean of each position must be total/n (the shuffle alone
+	// guarantees exchangeability; this checks the whole pipeline).
+	r := rand.New(rand.NewSource(5))
+	const trials = 4000
+	n := 4
+	total := 10.0
+	means := make([]float64, n)
+	for i := 0; i < trials; i++ {
+		xs, err := RandFixedSum(r, n, total, 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, x := range xs {
+			means[j] += x
+		}
+	}
+	for j := range means {
+		means[j] /= trials
+		if math.Abs(means[j]-total/float64(n)) > 0.1 {
+			t.Errorf("position %d mean = %g, want %g", j, means[j], total/float64(n))
+		}
+	}
+}
+
+func TestRandFixedSumProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, frac float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		frac = math.Abs(frac)
+		frac -= math.Floor(frac)
+		lo, hi := 1.0, 4.0
+		total := lo*float64(n) + frac*(hi-lo)*float64(n)
+		xs, err := RandFixedSum(r, n, total, lo, hi)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, x := range xs {
+			if x < lo-1e-9 || x > hi+1e-9 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-total) < 1e-6*math.Max(1, total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogUniformBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		v := LogUniform(r, 10, 1000)
+		if v < 10 || v > 1000 {
+			t.Fatalf("LogUniform out of range: %g", v)
+		}
+	}
+	if v := LogUniform(r, 7, 7); v != 7 {
+		t.Errorf("LogUniform degenerate = %g, want 7", v)
+	}
+}
+
+func TestLogUniformMedian(t *testing.T) {
+	// The median of log-uniform [10, 1000] is 100 (geometric midpoint).
+	r := rand.New(rand.NewSource(7))
+	const trials = 20000
+	below := 0
+	for i := 0; i < trials; i++ {
+		if LogUniform(r, 10, 1000) < 100 {
+			below++
+		}
+	}
+	frac := float64(below) / trials
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("fraction below geometric midpoint = %g, want ~0.5", frac)
+	}
+}
+
+func TestUniformIntBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := UniformInt(r, 3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("UniformInt out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never drawn", v)
+		}
+	}
+	if v := UniformInt(r, 5, 5); v != 5 {
+		t.Errorf("UniformInt degenerate = %d", v)
+	}
+}

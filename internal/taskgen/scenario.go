@@ -1,0 +1,138 @@
+package taskgen
+
+import (
+	"fmt"
+
+	"dpcpp/internal/rt"
+)
+
+// IntRange is an inclusive integer range [Lo, Hi].
+type IntRange struct {
+	Lo, Hi int
+}
+
+func (r IntRange) String() string { return fmt.Sprintf("[%d,%d]", r.Lo, r.Hi) }
+
+// TimeRange is an inclusive duration range [Lo, Hi].
+type TimeRange struct {
+	Lo, Hi rt.Time
+}
+
+func (r TimeRange) String() string {
+	return fmt.Sprintf("[%s,%s]", rt.FormatTime(r.Lo), rt.FormatTime(r.Hi))
+}
+
+// Scenario is one experimental configuration of the paper's Sec. VII-A.
+// The full grid of Table 2/3 is the cross product of:
+//
+//	M       ∈ {8, 16, 32}
+//	NumRes  ∈ {[2,4], [4,8], [8,16]}
+//	UAvg    ∈ {1.5, 2}
+//	PAccess ∈ {0.5, 0.75, 1}
+//	NReq    ∈ {[1,25], [1,50]}
+//	CSLen   ∈ {[15µs,50µs], [50µs,100µs]}
+//
+// which yields 3·3·2·3·2·2 = 216 scenarios.
+type Scenario struct {
+	M       int       // number of processors
+	NumRes  IntRange  // number of shared resources n_r
+	UAvg    float64   // average task utilization U^avg
+	PAccess float64   // probability p_r that a task uses each resource
+	NReq    IntRange  // per-task request count N_{i,q} range
+	CSLen   TimeRange // critical-section length L_{i,q} range
+
+	// Structure parameters (fixed by the paper).
+	VertsRange IntRange // |V_i| uniform in [10, 100]
+	EdgeProb   float64  // Erdős–Rényi edge probability, 0.1
+	PeriodLo   rt.Time  // log-uniform period range, [10ms, 1000ms]
+	PeriodHi   rt.Time
+}
+
+// DefaultStructure fills the structure parameters the paper fixes for every
+// scenario.
+func (s Scenario) DefaultStructure() Scenario {
+	if s.VertsRange == (IntRange{}) {
+		s.VertsRange = IntRange{10, 100}
+	}
+	if s.EdgeProb == 0 {
+		s.EdgeProb = 0.1
+	}
+	if s.PeriodLo == 0 {
+		s.PeriodLo = 10 * rt.Millisecond
+	}
+	if s.PeriodHi == 0 {
+		s.PeriodHi = 1000 * rt.Millisecond
+	}
+	return s
+}
+
+// Name returns a compact scenario identifier used in reports and CSV files.
+func (s Scenario) Name() string {
+	return fmt.Sprintf("m%d_nr%d-%d_u%g_pr%g_n%d-%d_cs%d-%dus",
+		s.M, s.NumRes.Lo, s.NumRes.Hi, s.UAvg, s.PAccess,
+		s.NReq.Lo, s.NReq.Hi,
+		s.CSLen.Lo/rt.Microsecond, s.CSLen.Hi/rt.Microsecond)
+}
+
+// Grid returns the paper's full 216-scenario grid in deterministic order.
+func Grid() []Scenario {
+	var out []Scenario
+	for _, m := range []int{8, 16, 32} {
+		for _, nr := range []IntRange{{2, 4}, {4, 8}, {8, 16}} {
+			for _, uavg := range []float64{1.5, 2} {
+				for _, pr := range []float64{0.5, 0.75, 1} {
+					for _, nq := range []IntRange{{1, 25}, {1, 50}} {
+						for _, cs := range []TimeRange{
+							{15 * rt.Microsecond, 50 * rt.Microsecond},
+							{50 * rt.Microsecond, 100 * rt.Microsecond},
+						} {
+							out = append(out, Scenario{
+								M: m, NumRes: nr, UAvg: uavg, PAccess: pr,
+								NReq: nq, CSLen: cs,
+							}.DefaultStructure())
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Fig2Scenario returns the configuration of one of the paper's Fig. 2
+// subplots ("2a", "2b", "2c" or "2d"). All four use N ∈ [1,50] and
+// L ∈ [50µs, 100µs].
+func Fig2Scenario(sub string) (Scenario, error) {
+	base := Scenario{
+		NReq:  IntRange{1, 50},
+		CSLen: TimeRange{50 * rt.Microsecond, 100 * rt.Microsecond},
+	}
+	switch sub {
+	case "2a":
+		base.UAvg, base.M, base.NumRes, base.PAccess = 1.5, 16, IntRange{4, 8}, 0.5
+	case "2b":
+		base.UAvg, base.M, base.NumRes, base.PAccess = 1.5, 32, IntRange{8, 16}, 1
+	case "2c":
+		base.UAvg, base.M, base.NumRes, base.PAccess = 2, 16, IntRange{4, 8}, 0.5
+	case "2d":
+		base.UAvg, base.M, base.NumRes, base.PAccess = 2, 32, IntRange{8, 16}, 1
+	default:
+		return Scenario{}, fmt.Errorf("taskgen: unknown Fig. 2 subplot %q", sub)
+	}
+	return base.DefaultStructure(), nil
+}
+
+// UtilizationPoints returns the paper's sweep of total utilizations for m
+// processors: 1 to m in steps of 0.05*m, with the endpoint m always
+// included so the normalized axis reaches 1.0 as in Fig. 2.
+func UtilizationPoints(m int) []float64 {
+	var out []float64
+	step := 0.05 * float64(m)
+	for u := 1.0; u <= float64(m)+1e-9; u += step {
+		out = append(out, u)
+	}
+	if last := out[len(out)-1]; last < float64(m)-1e-9 {
+		out = append(out, float64(m))
+	}
+	return out
+}
