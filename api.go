@@ -32,6 +32,10 @@ type (
 	Taskset = model.Taskset
 	// Path is one complete path through a task's DAG.
 	Path = model.Path
+	// PathView is the signature-collapsed summary of all complete paths
+	// sharing one per-resource request vector; the EP analysis consumes
+	// views, not concrete paths.
+	PathView = model.PathView
 )
 
 // Time units re-exported for fixture building.
@@ -175,9 +179,17 @@ type (
 	GridResult = experiments.GridResult
 )
 
-// RunGrid executes campaigns for a list of scenarios.
+// RunGrid executes campaigns for a list of scenarios on one shared,
+// grid-level worker pool.
 func RunGrid(template Campaign, scenarios []Scenario) ([]*Curve, error) {
 	return experiments.RunGrid(template, scenarios)
+}
+
+// RunGridProgress is RunGrid with a per-scenario completion callback; see
+// experiments.RunGridProgress for the callback's concurrency contract.
+func RunGridProgress(template Campaign, scenarios []Scenario,
+	onCurve func(i int, c *Curve)) ([]*Curve, error) {
+	return experiments.RunGridProgress(template, scenarios, onCurve)
 }
 
 // Aggregate counts pairwise dominance/outperformance across curves.

@@ -252,7 +252,11 @@ func BenchmarkTaskGeneration(b *testing.B) {
 }
 
 // BenchmarkPathEnumeration measures the EP path machinery on a DAG with an
-// exponential path count, exercising the cap fallback.
+// exponential path count (2^14 complete paths), exercising the cap check.
+// enumerate-16k measures what the analysis actually consumes — the
+// signature-collapsed views of EnumerateViews, which fold all 16k paths of
+// this DAG into a single view — while enumerate-16k-legacy retains the
+// concrete per-path enumeration kept for tests and diagnostics.
 func BenchmarkPathEnumeration(b *testing.B) {
 	ts := NewTaskset(4, 1)
 	task := NewTask(0, 10*rt.Millisecond, 10*rt.Millisecond)
@@ -283,10 +287,39 @@ func BenchmarkPathEnumeration(b *testing.B) {
 		}
 	})
 	b.Run("enumerate-16k", func(b *testing.B) {
+		var views []PathView
+		for i := 0; i < b.N; i++ {
+			var ok bool
+			if views, ok = task.EnumerateViews(1 << 14); !ok {
+				b.Fatal("cap exceeded unexpectedly")
+			}
+		}
+		b.ReportMetric(float64(len(views)), "views")
+	})
+	b.Run("enumerate-16k-legacy", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, ok := task.EnumeratePaths(1 << 14); !ok {
 				b.Fatal("cap exceeded unexpectedly")
 			}
 		}
 	})
+}
+
+// BenchmarkGridSweep measures the grid-level experiment scheduler: many
+// scenarios drained by one shared worker pool (versus the historical
+// scenario-at-a-time sweep whose per-scenario pools idle through each
+// scenario's tail).
+func BenchmarkGridSweep(b *testing.B) {
+	full := taskgen.Grid()
+	var grid []taskgen.Scenario
+	for i := 0; i < len(full); i += 27 {
+		grid = append(grid, full[i])
+	}
+	tmpl := experiments.Campaign{TasksetsPerPoint: 2, Seed: 2020}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGrid(tmpl, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(grid)), "scenarios")
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
@@ -102,22 +103,24 @@ func runTables(tmpl experiments.Campaign, limit int, csvPrefix string) {
 	}
 	fmt.Printf("running %d scenarios x %d points x %d tasksets...\n",
 		len(grid), len(taskgen.UtilizationPoints(grid[0].M)), tmpl.TasksetsPerPoint)
-	var curves []*experiments.Curve
-	for i, s := range grid {
-		c := tmpl
-		c.Scenario = s
-		curve, err := c.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "scenario %s: %v\n", s.Name(), err)
-			os.Exit(1)
-		}
-		curves = append(curves, curve)
-		fmt.Fprintf(os.Stderr, "\r%d/%d %s", i+1, len(grid), s.Name())
-		if csvPrefix != "" {
-			writeCSV(fmt.Sprintf("%s_%s.csv", csvPrefix, s.Name()), curve)
-		}
-	}
+	// One shared worker pool drains the whole grid; scenarios finish in
+	// work-pool order, so progress reports completion counts. Each
+	// scenario's CSV is persisted the moment it completes (callbacks fire
+	// once per scenario, for distinct files), so an interrupted multi-hour
+	// sweep keeps every finished curve.
+	var done atomic.Int64
+	curves, err := experiments.RunGridProgress(tmpl, grid,
+		func(i int, c *experiments.Curve) {
+			if csvPrefix != "" {
+				writeCSV(fmt.Sprintf("%s_%s.csv", csvPrefix, grid[i].Name()), c)
+			}
+			fmt.Fprintf(os.Stderr, "\r%d/%d %s", done.Add(1), len(grid), grid[i].Name())
+		})
 	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	g := experiments.Aggregate(curves, tmpl.Methods)
 	fmt.Print(experiments.FormatGrid(g))
 }

@@ -1,0 +1,3 @@
+module dpcpp
+
+go 1.24

@@ -8,23 +8,40 @@ import (
 )
 
 // DPCPp is the response-time analysis of Sec. IV. With en=false it
-// enumerates complete paths and evaluates Theorem 1 exactly per path
-// (DPCP-p-EP); with en=true, or whenever a DAG has more than pathCap
-// complete paths, it substitutes the per-term path extremes computed by
-// DAG dynamic programming (DPCP-p-EN).
+// evaluates Theorem 1 exactly per candidate worst-case path (DPCP-p-EP),
+// using the signature-collapsed path views of model.EnumerateViews: paths
+// with identical per-resource request vectors yield identical Theorem 1
+// terms except for L(lambda) and the on-path non-critical WCET, in which
+// the bound is monotone, so only the per-signature maximum is evaluated.
+// With en=true, or whenever a DAG has more than pathCap complete paths, it
+// substitutes the per-term path extremes computed by DAG dynamic
+// programming (DPCP-p-EN).
 type DPCPp struct {
 	ts      *model.Taskset
 	pathCap int
 	en      bool
 
 	// Fallbacks counts tasks analyzed with EN bounds because their path
-	// count exceeded pathCap (diagnostics only).
+	// count exceeded pathCap (diagnostics only). It increments once per
+	// per-task view construction, including cache hits, mirroring the
+	// pre-cache behavior.
 	Fallbacks int
+
+	// viewCache memoizes per-task views across the repeated WCRTs rounds
+	// of the partitioning loop: views depend only on the (immutable,
+	// finalized) task, never on the candidate partition.
+	viewCache map[rt.TaskID]cachedViews
+}
+
+type cachedViews struct {
+	views    []pathView
+	fallback bool
 }
 
 // NewDPCPp returns a DPCP-p analyzer over the taskset.
 func NewDPCPp(ts *model.Taskset, pathCap int, en bool) *DPCPp {
-	return &DPCPp{ts: ts, pathCap: pathCap, en: en}
+	return &DPCPp{ts: ts, pathCap: pathCap, en: en,
+		viewCache: make(map[rt.TaskID]cachedViews, len(ts.Tasks))}
 }
 
 // WCRTs implements partition.Analyzer: it analyzes tasks from highest to
@@ -38,8 +55,9 @@ func (a *DPCPp) WCRTs(p *partition.Partition) map[rt.TaskID]rt.Time {
 	return wcrts
 }
 
-// pathView abstracts "one candidate worst-case path": either a concrete
-// enumerated path (EP) or the per-term extremes over all paths (EN).
+// pathView abstracts "one candidate worst-case path": a signature-collapsed
+// view over enumerated paths (EP) or the per-term extremes over all paths
+// (EN).
 type pathView struct {
 	length     rt.Time // L(lambda) (EN: L*)
 	offNonCrit rt.Time // non-critical WCET of vertices not on the path
@@ -48,29 +66,52 @@ type pathView struct {
 }
 
 func (a *DPCPp) pathViews(t *model.Task) []pathView {
-	nr := a.ts.NumResources
-	if !a.en {
-		if paths, ok := t.EnumeratePaths(a.pathCap); ok {
-			views := make([]pathView, len(paths))
-			totalNonCrit := t.NonCritWCET()
-			for i, p := range paths {
-				v := pathView{
-					length:     p.Length,
-					offNonCrit: totalNonCrit - p.NonCrit,
-					onPath:     make([]int64, nr),
-					offPath:    make([]int64, nr),
-				}
-				for q := 0; q < nr; q++ {
-					n := p.Requests(rt.ResourceID(q))
-					v.onPath[q] = n
-					v.offPath[q] = t.NumRequests(rt.ResourceID(q)) - n
-				}
-				views[i] = v
-			}
-			return views
-		}
+	c, ok := a.viewCache[t.ID]
+	if !ok {
+		c = a.buildViews(t)
+		a.viewCache[t.ID] = c
+	}
+	if c.fallback {
 		a.Fallbacks++
 	}
+	return c.views
+}
+
+func (a *DPCPp) buildViews(t *model.Task) cachedViews {
+	nr := a.ts.NumResources
+	if !a.en {
+		if pvs, ok := t.EnumerateViews(a.pathCap); ok {
+			views := make([]pathView, len(pvs))
+			// One flat backing array for every view's request vectors
+			// instead of 2 slice allocations per view.
+			flat := make([]int64, 2*nr*len(pvs))
+			totalNonCrit := t.NonCritWCET()
+			for i := range pvs {
+				pv := &pvs[i]
+				on := flat[2*i*nr : (2*i+1)*nr : (2*i+1)*nr]
+				off := flat[(2*i+1)*nr : (2*i+2)*nr : (2*i+2)*nr]
+				for q := 0; q < nr; q++ {
+					n := pv.Requests(rt.ResourceID(q))
+					on[q] = n
+					off[q] = t.NumRequests(rt.ResourceID(q)) - n
+				}
+				views[i] = pathView{
+					length:     pv.Length,
+					offNonCrit: totalNonCrit - pv.NonCrit,
+					onPath:     on,
+					offPath:    off,
+				}
+			}
+			return cachedViews{views: views}
+		}
+		return cachedViews{views: a.enView(t), fallback: true}
+	}
+	return cachedViews{views: a.enView(t)}
+}
+
+// enView builds the single path-oblivious EN view.
+func (a *DPCPp) enView(t *model.Task) []pathView {
+	nr := a.ts.NumResources
 	b := t.ComputePathBounds()
 	v := pathView{
 		length:     b.MaxLength,
@@ -90,6 +131,9 @@ func (a *DPCPp) pathViews(t *model.Task) []pathView {
 type procCtx struct {
 	proc rt.ProcID
 	res  []rt.ResourceID // global resources placed here
+	// resCS[j] = L_{i,res[j]}, the analyzed task's CS length per resource,
+	// hoisted out of the per-view loops.
+	resCS []rt.Time
 
 	beta rt.Time // max lower-priority CS with ceiling >= pi_i (Lemma 2)
 
@@ -129,6 +173,28 @@ type taskCtx struct {
 	// WCET interferes under partitioned fixed-priority scheduling.
 	hpShared []etaTerm
 	shared   bool
+
+	// localCS / clusterCS cache the task's CS length per localRes /
+	// clusterRes entry, hoisted out of the per-view loops.
+	localCS   []rt.Time
+	clusterCS []rt.Time
+
+	// epsMemo caches the Lemma 2 per-request blocking bound across the
+	// per-view loop: the W fixed point depends on the view only through
+	// base = L_{i,q} + off-path co-located CS work + beta, so views
+	// sharing a base (the common case after signature collapse) reuse it.
+	// rt.Infinity marks a diverged recurrence.
+	epsMemo map[epsKey]rt.Time
+	// epsScratch holds the per-processor epsilon values of the view under
+	// evaluation, reused across views.
+	epsScratch []rt.Time
+}
+
+// epsKey identifies one Lemma 2 fixed-point computation within a task's
+// analysis round.
+type epsKey struct {
+	proc rt.ProcID
+	base rt.Time
 }
 
 func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
@@ -144,6 +210,7 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 		rid := rt.ResourceID(q)
 		if ts.IsLocal(rid) && t.UsesResource(rid) {
 			ctx.localRes = append(ctx.localRes, rid)
+			ctx.localCS = append(ctx.localCS, t.CS(rid))
 		}
 	}
 
@@ -153,7 +220,10 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 		if len(res) == 0 {
 			continue
 		}
-		pc := procCtx{proc: proc, res: res}
+		pc := procCtx{proc: proc, res: res, resCS: make([]rt.Time, len(res))}
+		for j, u := range res {
+			pc.resCS[j] = t.CS(u)
+		}
 		for _, other := range ts.Tasks {
 			if other.ID == t.ID {
 				continue
@@ -204,8 +274,15 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 		}
 	}
 
+	ctx.epsMemo = make(map[epsKey]rt.Time)
+	ctx.epsScratch = make([]rt.Time, len(ctx.procs))
+
 	ctx.clusterRes = p.ClusterResources(t.ID)
 	if len(ctx.clusterRes) > 0 {
+		ctx.clusterCS = make([]rt.Time, len(ctx.clusterRes))
+		for j, u := range ctx.clusterRes {
+			ctx.clusterCS[j] = t.CS(u)
+		}
 		for _, other := range ts.Tasks {
 			if other.ID == t.ID {
 				continue
@@ -257,20 +334,20 @@ func (a *DPCPp) pathWCRT(ctx *taskCtx, v *pathView) rt.Time {
 
 	// Lemma 5: intra-task interference (constant in r).
 	iIntra := v.offNonCrit
-	for _, q := range ctx.localRes {
-		iIntra = rt.SatAdd(iIntra, rt.SatMul(v.offPath[q], t.CS(q)))
+	for j, q := range ctx.localRes {
+		iIntra = rt.SatAdd(iIntra, rt.SatMul(v.offPath[q], ctx.localCS[j]))
 	}
 
 	// Lemma 3 epsilon terms (constant in r; computed via Lemma 2's W).
-	eps := make([]rt.Time, len(ctx.procs))
+	eps := ctx.epsScratch
 	for i := range ctx.procs {
 		eps[i] = a.epsilon(ctx, &ctx.procs[i], v)
 	}
 
 	// Static off-path agent work on the own cluster (Lemma 6, Eq. 9).
 	var iaStatic rt.Time
-	for _, q := range ctx.clusterRes {
-		iaStatic = rt.SatAdd(iaStatic, rt.SatMul(v.offPath[q], t.CS(q)))
+	for j, q := range ctx.clusterRes {
+		iaStatic = rt.SatAdd(iaStatic, rt.SatMul(v.offPath[q], ctx.clusterCS[j]))
 	}
 
 	recurrence := func(r rt.Time) rt.Time {
@@ -304,12 +381,11 @@ func (a *DPCPp) pathWCRT(ctx *taskCtx, v *pathView) rt.Time {
 
 // intraBlocking evaluates Lemma 4.
 func (a *DPCPp) intraBlocking(ctx *taskCtx, v *pathView) rt.Time {
-	t := ctx.task
 	var b rt.Time
 	// Eq. (6): local resources the path itself requests.
-	for _, q := range ctx.localRes {
+	for j, q := range ctx.localRes {
 		if v.onPath[q] > 0 {
-			b = rt.SatAdd(b, rt.SatMul(v.offPath[q], t.CS(q)))
+			b = rt.SatAdd(b, rt.SatMul(v.offPath[q], ctx.localCS[j]))
 		}
 	}
 	// Eq. (7): global resources on processors the path requests from.
@@ -325,8 +401,8 @@ func (a *DPCPp) intraBlocking(ctx *taskCtx, v *pathView) rt.Time {
 		if !sigma {
 			continue
 		}
-		for _, u := range pc.res {
-			b = rt.SatAdd(b, rt.SatMul(v.offPath[u], t.CS(u)))
+		for j, u := range pc.res {
+			b = rt.SatAdd(b, rt.SatMul(v.offPath[u], pc.resCS[j]))
 		}
 	}
 	return b
@@ -338,30 +414,43 @@ func (a *DPCPp) intraBlocking(ctx *taskCtx, v *pathView) rt.Time {
 // time. When a W recurrence diverges beyond the deadline, epsilon becomes
 // Infinity and Lemma 3's min() falls back to the zeta bound, which remains
 // sound.
+//
+// The W fixed point depends on the view only through its base value, so
+// results are memoized in ctx.epsMemo keyed by (processor, base) and shared
+// across the per-view loop; rt.Infinity records divergence.
 func (a *DPCPp) epsilon(ctx *taskCtx, pc *procCtx, v *pathView) rt.Time {
 	t := ctx.task
 
 	// Off-path intra-task CS work on this processor's resources (the
 	// middle term of Eq. 3), shared by every W on this processor.
 	var offCoWork rt.Time
-	for _, u := range pc.res {
-		offCoWork = rt.SatAdd(offCoWork, rt.SatMul(v.offPath[u], t.CS(u)))
+	for j, u := range pc.res {
+		offCoWork = rt.SatAdd(offCoWork, rt.SatMul(v.offPath[u], pc.resCS[j]))
 	}
 
 	var eps rt.Time
-	for _, q := range pc.res {
+	for j, q := range pc.res {
 		n := v.onPath[q]
 		if n == 0 {
 			continue
 		}
-		base := rt.SatAdd(t.CS(q), rt.SatAdd(offCoWork, pc.beta))
-		w, ok := rta.FixPoint(base, t.Deadline, func(w rt.Time) rt.Time {
-			return rt.SatAdd(base, etaSum(pc.hp, w))
-		})
-		if !ok {
+		base := rt.SatAdd(pc.resCS[j], rt.SatAdd(offCoWork, pc.beta))
+		key := epsKey{proc: pc.proc, base: base}
+		perReq, hit := ctx.epsMemo[key]
+		if !hit {
+			w, ok := rta.FixPoint(base, t.Deadline, func(w rt.Time) rt.Time {
+				return rt.SatAdd(base, etaSum(pc.hp, w))
+			})
+			if ok {
+				perReq = rt.SatAdd(pc.beta, etaSum(pc.hp, w))
+			} else {
+				perReq = rt.Infinity
+			}
+			ctx.epsMemo[key] = perReq
+		}
+		if perReq >= rt.Infinity {
 			return rt.Infinity
 		}
-		perReq := rt.SatAdd(pc.beta, etaSum(pc.hp, w))
 		eps = rt.SatAdd(eps, rt.SatMul(n, perReq))
 	}
 	return eps

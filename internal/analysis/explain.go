@@ -32,7 +32,9 @@ type Breakdown struct {
 	Procs int64
 	// Total is the resulting bound (Infinity when unschedulable).
 	Total rt.Time
-	// PathsConsidered counts the candidate paths evaluated (1 for EN).
+	// PathsConsidered counts the candidate path views evaluated: complete
+	// paths collapse by per-resource request-vector signature before
+	// evaluation, so this is the number of distinct signatures (1 for EN).
 	PathsConsidered int
 	// ENFallback reports that the path count exceeded the cap and the EN
 	// bounds were used.

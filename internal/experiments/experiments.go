@@ -11,7 +11,6 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/model"
@@ -83,77 +82,47 @@ func generate(g *taskgen.Generator, seed int64, util float64) (*model.Taskset, e
 	return nil, lastErr
 }
 
-// Run sweeps the scenario's utilization points and returns the curve.
-func (c Campaign) Run() (*Curve, error) {
+// normalized returns the campaign with defaults applied and the scenario
+// structure resolved.
+func (c Campaign) normalized() Campaign {
 	if len(c.Methods) == 0 {
 		c.Methods = analysis.Methods()
 	}
 	if c.TasksetsPerPoint <= 0 {
 		c.TasksetsPerPoint = 25
 	}
-	workers := c.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	c.Scenario = c.Scenario.DefaultStructure()
+	return c
+}
+
+func (c Campaign) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
 	}
-	scen := c.Scenario.DefaultStructure()
-	points := taskgen.UtilizationPoints(scen.M)
-	curve := &Curve{Scenario: scen, Methods: c.Methods}
-	for _, u := range points {
+	return runtime.GOMAXPROCS(0)
+}
+
+// newCurve allocates the empty acceptance-ratio curve of one campaign.
+func newCurve(c Campaign) *Curve {
+	curve := &Curve{Scenario: c.Scenario, Methods: c.Methods}
+	for _, u := range taskgen.UtilizationPoints(c.Scenario.M) {
 		curve.Points = append(curve.Points, Point{
 			Utilization: u,
-			Normalized:  u / float64(scen.M),
+			Normalized:  u / float64(c.Scenario.M),
 			Accepted:    make(map[analysis.Method]int),
 		})
 	}
+	return curve
+}
 
-	type job struct{ point, sample int }
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-
-	worker := func() {
-		defer wg.Done()
-		g := taskgen.NewGenerator(scen)
-		for jb := range jobs {
-			seed := seedFor(c.Seed, scen.Name(), jb.point, jb.sample)
-			ts, err := generate(g, seed, curve.Points[jb.point].Utilization)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("point %d sample %d: %w", jb.point, jb.sample, err)
-				}
-				mu.Unlock()
-				continue
-			}
-			verdicts := make(map[analysis.Method]bool, len(c.Methods))
-			for _, m := range c.Methods {
-				verdicts[m] = analysis.Schedulable(m, ts, c.Options)
-			}
-			mu.Lock()
-			pt := &curve.Points[jb.point]
-			pt.Total++
-			for m, ok := range verdicts {
-				if ok {
-					pt.Accepted[m]++
-				}
-			}
-			mu.Unlock()
-		}
+// Run sweeps the scenario's utilization points and returns the curve.
+func (c Campaign) Run() (*Curve, error) {
+	c = c.normalized()
+	curves, je := runPool([]Campaign{c}, c.workers(), nil)
+	if je != nil {
+		return curves[0], fmt.Errorf("point %d sample %d: %w", je.point, je.sample, je.err)
 	}
-
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go worker()
-	}
-	for pi := range curve.Points {
-		for s := 0; s < c.TasksetsPerPoint; s++ {
-			jobs <- job{pi, s}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	return curve, firstErr
+	return curves[0], nil
 }
 
 // Dominates implements the paper's footnote: A dominates B when A's
@@ -218,17 +187,39 @@ func Aggregate(curves []*Curve, methods []analysis.Method) *GridResult {
 }
 
 // RunGrid executes campaigns for every scenario in the grid, reusing the
-// campaign template's methods, sample count and options.
+// campaign template's methods, sample count and options. All scenarios
+// share one grid-level worker pool (see RunGridProgress), so a 216-scenario
+// sweep saturates every core instead of draining scenarios one at a time.
 func RunGrid(template Campaign, scenarios []taskgen.Scenario) ([]*Curve, error) {
-	curves := make([]*Curve, 0, len(scenarios))
-	for _, s := range scenarios {
+	return RunGridProgress(template, scenarios, nil)
+}
+
+// RunGridProgress is RunGrid with a completion callback: onCurve(i, c) fires
+// exactly once per scenario, as soon as every job of scenarios[i] has
+// drained, with c == the returned curves[i]. Because scenarios complete in
+// work-pool order, callbacks may arrive out of scenario order and are
+// invoked from worker goroutines; callbacks must synchronize any shared
+// state of their own.
+//
+// Results are bit-identical to running each scenario's Campaign alone:
+// every sample's RNG seed derives from (seed, scenario, point, sample),
+// never from worker scheduling. Unlike the former serial implementation,
+// all scenarios run to completion even when one fails; the returned error
+// is the failure of the lexicographically smallest (scenario, point,
+// sample) job, deterministically.
+func RunGridProgress(template Campaign, scenarios []taskgen.Scenario,
+	onCurve func(i int, c *Curve)) ([]*Curve, error) {
+
+	camps := make([]Campaign, len(scenarios))
+	for i, s := range scenarios {
 		c := template
 		c.Scenario = s
-		curve, err := c.Run()
-		if err != nil {
-			return curves, fmt.Errorf("scenario %s: %w", s.Name(), err)
-		}
-		curves = append(curves, curve)
+		camps[i] = c.normalized()
+	}
+	curves, je := runPool(camps, template.workers(), onCurve)
+	if je != nil {
+		return curves, fmt.Errorf("scenario %s: point %d sample %d: %w",
+			camps[je.scen].Scenario.Name(), je.point, je.sample, je.err)
 	}
 	return curves, nil
 }

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/taskgen"
+)
+
+// gridJob identifies one (scenario, point, sample) work unit of a sweep.
+type gridJob struct {
+	scen, point, sample int
+}
+
+// less orders jobs lexicographically; used to report errors
+// deterministically regardless of worker scheduling.
+func (j gridJob) less(o gridJob) bool {
+	if j.scen != o.scen {
+		return j.scen < o.scen
+	}
+	if j.point != o.point {
+		return j.point < o.point
+	}
+	return j.sample < o.sample
+}
+
+// jobError is the failure of one job, tagged with its coordinates.
+type jobError struct {
+	scen, point, sample int
+	err                 error
+}
+
+// runPool is the grid-level scheduler behind Campaign.Run and RunGrid: one
+// shared, work-conserving pool of workers drains every (scenario, point,
+// sample) job of every campaign, so multi-scenario sweeps keep all cores
+// busy instead of a per-scenario pool idling through each scenario's tail.
+// Campaigns must already be normalized. onCurve, when non-nil, fires once
+// per campaign the moment its last job completes (from a worker goroutine).
+//
+// Determinism: each sample's generator seed is a pure function of
+// (campaign seed, scenario name, point, sample), and accepted counts are
+// commutative sums, so results never depend on worker interleaving. The
+// returned error, if any, is the one of the smallest failing job.
+func runPool(camps []Campaign, workers int, onCurve func(int, *Curve)) ([]*Curve, *jobError) {
+	curves := make([]*Curve, len(camps))
+	remaining := make([]atomic.Int64, len(camps))
+	totalJobs := 0
+	for i, c := range camps {
+		curves[i] = newCurve(c)
+		n := len(curves[i].Points) * c.TasksetsPerPoint
+		remaining[i].Store(int64(n))
+		totalJobs += n
+		if n == 0 && onCurve != nil {
+			onCurve(i, curves[i])
+		}
+	}
+	if totalJobs == 0 {
+		return curves, nil
+	}
+	if workers > totalJobs {
+		workers = totalJobs
+	}
+
+	jobs := make(chan gridJob, workers)
+	go func() {
+		for ci := range camps {
+			for pi := range curves[ci].Points {
+				for s := 0; s < camps[ci].TasksetsPerPoint; s++ {
+					jobs <- gridJob{scen: ci, point: pi, sample: s}
+				}
+			}
+		}
+		close(jobs)
+	}()
+
+	var mu sync.Mutex // guards curve points and firstErr
+	var firstErr *jobError
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// Generators are per-scenario and stateless across samples;
+			// each worker lazily builds its own so no locking is needed.
+			gens := make(map[int]*taskgen.Generator, len(camps))
+			for jb := range jobs {
+				c := &camps[jb.scen]
+				g := gens[jb.scen]
+				if g == nil {
+					g = taskgen.NewGenerator(c.Scenario)
+					gens[jb.scen] = g
+				}
+				runJob(c, g, curves[jb.scen], jb, &mu, &firstErr)
+				if remaining[jb.scen].Add(-1) == 0 && onCurve != nil {
+					onCurve(jb.scen, curves[jb.scen])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return curves, firstErr
+}
+
+// runJob draws and analyzes one sample and folds the verdicts into the
+// curve.
+func runJob(c *Campaign, g *taskgen.Generator, curve *Curve, jb gridJob,
+	mu *sync.Mutex, firstErr **jobError) {
+
+	seed := seedFor(c.Seed, c.Scenario.Name(), jb.point, jb.sample)
+	ts, err := generate(g, seed, curve.Points[jb.point].Utilization)
+	if err != nil {
+		mu.Lock()
+		if *firstErr == nil || jb.less(gridJob{(*firstErr).scen, (*firstErr).point, (*firstErr).sample}) {
+			*firstErr = &jobError{jb.scen, jb.point, jb.sample, err}
+		}
+		mu.Unlock()
+		return
+	}
+	verdicts := make(map[analysis.Method]bool, len(c.Methods))
+	for _, m := range c.Methods {
+		verdicts[m] = analysis.Schedulable(m, ts, c.Options)
+	}
+	mu.Lock()
+	pt := &curve.Points[jb.point]
+	pt.Total++
+	for m, ok := range verdicts {
+		if ok {
+			pt.Accepted[m]++
+		}
+	}
+	mu.Unlock()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"dpcpp/internal/rt"
+	"dpcpp/internal/taskgen"
+)
+
+// secondScenario differs from fastScenario so cross-scenario mixing in the
+// shared pool is actually exercised.
+func secondScenario() taskgen.Scenario {
+	s := fastScenario()
+	s.M = 4
+	s.NumRes = taskgen.IntRange{Lo: 1, Hi: 2}
+	s.PeriodLo = 5 * rt.Millisecond
+	return s
+}
+
+// TestGridPoolMatchesPerCampaignRuns: the grid-level shared pool must
+// produce, per scenario, exactly the curve a standalone Campaign.Run
+// produces — worker interleaving across scenarios must never leak into
+// results.
+func TestGridPoolMatchesPerCampaignRuns(t *testing.T) {
+	tmpl := fastCampaign()
+	tmpl.TasksetsPerPoint = 3
+	scens := []taskgen.Scenario{fastScenario(), secondScenario()}
+
+	curves, err := RunGrid(tmpl, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	for i, s := range scens {
+		c := tmpl
+		c.Scenario = s
+		solo, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(solo.Points) != len(curves[i].Points) {
+			t.Fatalf("scenario %d: point count %d != %d", i, len(curves[i].Points), len(solo.Points))
+		}
+		for pi := range solo.Points {
+			if solo.Points[pi].Total != curves[i].Points[pi].Total {
+				t.Errorf("scenario %d point %d: totals diverge", i, pi)
+			}
+			for _, m := range solo.Methods {
+				if solo.Points[pi].Accepted[m] != curves[i].Points[pi].Accepted[m] {
+					t.Errorf("scenario %d point %d method %s: grid %d != solo %d",
+						i, pi, m, curves[i].Points[pi].Accepted[m], solo.Points[pi].Accepted[m])
+				}
+			}
+		}
+	}
+}
+
+// TestGridPoolIndependentOfWorkerCount: one worker and many workers must
+// agree bit-for-bit (deterministic seeding).
+func TestGridPoolIndependentOfWorkerCount(t *testing.T) {
+	scens := []taskgen.Scenario{fastScenario(), secondScenario()}
+	run := func(par int) []*Curve {
+		tmpl := fastCampaign()
+		tmpl.TasksetsPerPoint = 2
+		tmpl.Parallelism = par
+		curves, err := RunGrid(tmpl, scens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return curves
+	}
+	serial, parallel := run(1), run(8)
+	for i := range serial {
+		for pi := range serial[i].Points {
+			for _, m := range serial[i].Methods {
+				if serial[i].Points[pi].Accepted[m] != parallel[i].Points[pi].Accepted[m] {
+					t.Fatalf("scenario %d point %d method %s: 1-worker %d != 8-worker %d",
+						i, pi, m, serial[i].Points[pi].Accepted[m], parallel[i].Points[pi].Accepted[m])
+				}
+			}
+		}
+	}
+}
+
+// TestRunGridProgressCallback: exactly one completion callback per
+// scenario, with the curve identical to the returned one.
+func TestRunGridProgressCallback(t *testing.T) {
+	tmpl := fastCampaign()
+	tmpl.TasksetsPerPoint = 2
+	scens := []taskgen.Scenario{fastScenario(), secondScenario()}
+
+	var mu sync.Mutex
+	seen := map[int]*Curve{}
+	curves, err := RunGridProgress(tmpl, scens, func(i int, c *Curve) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := seen[i]; dup {
+			t.Errorf("scenario %d completed twice", i)
+		}
+		seen[i] = c
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(scens) {
+		t.Fatalf("got %d callbacks, want %d", len(seen), len(scens))
+	}
+	for i, c := range seen {
+		if curves[i] != c {
+			t.Errorf("scenario %d: callback curve is not the returned curve", i)
+		}
+		for pi := range c.Points {
+			if c.Points[pi].Total != tmpl.TasksetsPerPoint {
+				t.Errorf("scenario %d point %d incomplete at callback time", i, pi)
+			}
+		}
+	}
+}

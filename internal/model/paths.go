@@ -65,29 +65,53 @@ func satAddI64(a, b int64) int64 {
 // It returns the collected paths and ok=false when the cap was exceeded (in
 // which case the returned slice is nil and callers should fall back to the
 // path-oblivious EN bounds). A cap <= 0 means unlimited.
+//
+// The response-time analysis no longer consumes concrete paths; it uses the
+// signature-collapsed views of EnumerateViews. EnumeratePaths remains the
+// reference enumeration for tests and diagnostic tooling.
 func (t *Task) EnumeratePaths(cap int) (paths []*Path, ok bool) {
 	t.mustFinal()
 	if cap > 0 && t.CountPaths() > int64(cap) {
 		return nil, false
 	}
 	nr := len(t.nReq)
-	var stack []rt.VertexID
-	var rec func(x rt.VertexID)
-	rec = func(x rt.VertexID) {
-		stack = append(stack, x)
-		if len(t.succ[x]) == 0 {
-			paths = append(paths, t.makePath(stack, nr))
-		} else {
-			for _, y := range t.succ[x] {
-				rec(y)
-			}
-		}
-		stack = stack[:len(stack)-1]
-	}
-	for _, h := range t.heads {
-		rec(h)
-	}
+	t.visitPaths(func(stack []rt.VertexID) {
+		paths = append(paths, t.makePath(stack, nr))
+	})
 	return paths, true
+}
+
+// visitPaths walks every complete head-to-tail path with an explicit frame
+// stack (no recursion, so arbitrarily deep chain DAGs cannot grow the
+// goroutine stack). The vertex slice passed to visit is reused between
+// calls; callers must copy it if they retain it.
+func (t *Task) visitPaths(visit func(vertices []rt.VertexID)) {
+	type frame struct {
+		x    rt.VertexID
+		next int // index of the next successor to descend into
+	}
+	frames := make([]frame, 0, len(t.Vertices))
+	stack := make([]rt.VertexID, 0, len(t.Vertices))
+	for _, h := range t.heads {
+		frames = append(frames[:0], frame{x: h})
+		stack = append(stack[:0], h)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succ := t.succ[f.x]
+			if len(succ) == 0 {
+				visit(stack)
+			}
+			if f.next < len(succ) {
+				y := succ[f.next]
+				f.next++
+				frames = append(frames, frame{x: y})
+				stack = append(stack, y)
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			stack = stack[:len(stack)-1]
+		}
+	}
 }
 
 func (t *Task) makePath(vertices []rt.VertexID, nr int) *Path {

@@ -1,0 +1,247 @@
+package model
+
+import (
+	"encoding/binary"
+
+	"dpcpp/internal/rt"
+)
+
+// PathView is the signature-collapsed summary of every complete path that
+// shares one per-resource request vector ("signature"). The DPCP-p per-path
+// response-time bound of Theorem 1 depends on a path only through its
+// request vector, its length L(lambda) and its on-path non-critical WCET,
+// and it is monotone non-decreasing in the latter two for a fixed request
+// vector (L and C' are coupled: L = C'(lambda) + sum_q N^lambda_q * L_q).
+// All paths with one signature therefore collapse, exactly, into the single
+// view carrying the group maxima.
+type PathView struct {
+	NReq    []int64 // NReq[q] = N^lambda_{i,q}, shared by all collapsed paths
+	Length  rt.Time // max over collapsed paths of L(lambda)
+	NonCrit rt.Time // on-path non-critical WCET of the longest collapsed path
+	Paths   int64   // number of concrete paths collapsed, saturating
+}
+
+// Requests returns N^lambda_{i,q} for resource q.
+func (v *PathView) Requests(q rt.ResourceID) int64 {
+	if int(q) >= len(v.NReq) {
+		return 0
+	}
+	return v.NReq[q]
+}
+
+// viewState is one partial-path equivalence class during the collapse DP:
+// all head-to-x prefixes sharing one request-count signature.
+type viewState struct {
+	sig     []int64 // counts per *active* resource (see EnumerateViews)
+	nonCrit rt.Time // max prefix non-critical WCET within the class
+	paths   int64   // number of prefixes in the class, saturating
+}
+
+// EnumerateViews streams every complete path of the DAG through a
+// signature-collapsing dynamic program and returns one PathView per
+// distinct request vector, in deterministic first-discovered order.
+//
+// Unlike EnumeratePaths, the cost is not proportional to the number of
+// paths: partial paths reaching a vertex with identical request counts are
+// folded immediately, so a DAG whose 2^k paths all request the same
+// resources is processed in O(V+E). The worst case is bounded by the number
+// of distinct partial signatures per vertex (itself bounded by the path
+// count and by prod_q (N_{i,q}+1)).
+//
+// The cap keeps the EN-fallback semantics of EnumeratePaths bit-compatible:
+// ok=false whenever the task has more than cap complete paths, regardless
+// of how few views they would collapse into. A cap <= 0 means unlimited.
+func (t *Task) EnumerateViews(cap int) (views []PathView, ok bool) {
+	t.mustFinal()
+	if cap > 0 && t.CountPaths() > int64(cap) {
+		return nil, false
+	}
+
+	// Active resources: only resources the task requests at all can appear
+	// in a signature, so signatures index them densely.
+	var active []rt.ResourceID
+	slot := make([]int, len(t.nReq))
+	for q, n := range t.nReq {
+		if n > 0 {
+			slot[q] = len(active)
+			active = append(active, rt.ResourceID(q))
+		}
+	}
+	na := len(active)
+
+	// Per-vertex signature increments and non-critical WCETs, hoisted out
+	// of the DP so the inner loop never touches the Requests maps.
+	type sigDelta struct {
+		slot int
+		n    int64
+	}
+	deltas := make([][]sigDelta, len(t.Vertices))
+	nonCrit := make([]rt.Time, len(t.Vertices))
+	for x, v := range t.Vertices {
+		nonCrit[x] = t.VertexNonCrit(rt.VertexID(x))
+		for q, n := range v.Requests {
+			if n > 0 {
+				deltas[x] = append(deltas[x], sigDelta{slot: slot[q], n: int64(n)})
+			}
+		}
+	}
+
+	zeroSig := make([]int64, na)
+	m := newSigMerger(na)
+
+	// Forward DP in topological order: states[x] holds the collapsed
+	// classes of all head-to-x prefixes (x included).
+	states := make([][]viewState, len(t.Vertices))
+	for _, x := range t.topo {
+		m.reset()
+		// Fold every predecessor class, extended by x, into states[x].
+		// The predecessor signature is never mutated and is shared when x
+		// issues no requests.
+		fold := func(base []int64, nc rt.Time, paths int64) {
+			sig := base
+			if len(deltas[x]) > 0 {
+				sig = append(make([]int64, 0, na), base...)
+				for _, d := range deltas[x] {
+					sig[d.slot] += d.n
+				}
+			}
+			m.add(sig, nc, paths)
+		}
+		if len(t.pred[x]) == 0 {
+			fold(zeroSig, nonCrit[x], 1)
+		} else {
+			for _, p := range t.pred[x] {
+				for _, s := range states[p] {
+					fold(s.sig, s.nonCrit+nonCrit[x], s.paths)
+				}
+			}
+		}
+		states[x] = m.take()
+	}
+
+	// Merge the tail classes into the final views. Length is recovered from
+	// the signature: L = C'(lambda) + sum over active q of sig_q * L_{i,q}.
+	m.reset()
+	for _, tail := range t.tails {
+		for _, s := range states[tail] {
+			m.add(s.sig, s.nonCrit, s.paths)
+		}
+	}
+	final := m.take()
+
+	views = make([]PathView, len(final))
+	nreqFlat := make([]int64, len(final)*len(t.nReq))
+	for i, s := range final {
+		nreq := nreqFlat[i*len(t.nReq) : (i+1)*len(t.nReq) : (i+1)*len(t.nReq)]
+		length := s.nonCrit
+		for j, q := range active {
+			nreq[q] = s.sig[j]
+			length = rt.SatAdd(length, rt.SatMul(s.sig[j], t.CSLen[q]))
+		}
+		views[i] = PathView{NReq: nreq, Length: length, NonCrit: s.nonCrit, Paths: s.paths}
+	}
+	return views, true
+}
+
+// CountViews returns the number of distinct request-vector signatures over
+// complete paths, i.e. len(EnumerateViews) without the cap check.
+func (t *Task) CountViews() int {
+	views, _ := t.EnumerateViews(0)
+	return len(views)
+}
+
+// sigMerger folds (signature, nonCrit, paths) triples into collapsed
+// equivalence classes. Small batches merge by direct signature comparison;
+// once the class count passes a threshold it switches to an encoded-key
+// map, so chain-heavy DAGs (few classes per vertex) never pay for hashing
+// while contention-heavy DAGs stay near O(1) per fold.
+type sigMerger struct {
+	na     int
+	out    []viewState
+	index  map[string]int // nil until the linear scan gets too long
+	keyBuf []byte
+}
+
+// linearMergeMax bounds the direct-comparison phase; beyond it the merger
+// builds its map index.
+const linearMergeMax = 16
+
+func newSigMerger(na int) *sigMerger { return &sigMerger{na: na} }
+
+func (m *sigMerger) reset() {
+	m.out = nil
+	if m.index != nil {
+		clear(m.index)
+	}
+}
+
+// take returns the merged classes and detaches them from the merger.
+func (m *sigMerger) take() []viewState {
+	out := m.out
+	m.out = nil
+	if m.index != nil {
+		clear(m.index)
+	}
+	return out
+}
+
+// fillKey encodes sig into keyBuf; callers look up via string(m.keyBuf)
+// directly so the duplicate (merge) case never allocates — the compiler
+// elides the conversion for map reads — and only first-seen signatures
+// materialize a key string.
+func (m *sigMerger) fillKey(sig []int64) {
+	m.keyBuf = m.keyBuf[:0]
+	for _, n := range sig {
+		m.keyBuf = binary.AppendUvarint(m.keyBuf, uint64(n))
+	}
+}
+
+func (m *sigMerger) add(sig []int64, nonCrit rt.Time, paths int64) {
+	if m.index == nil || len(m.out) <= linearMergeMax {
+		for i := range m.out {
+			if sigEqual(m.out[i].sig, sig) {
+				m.merge(i, nonCrit, paths)
+				return
+			}
+		}
+		if len(m.out) < linearMergeMax {
+			m.out = append(m.out, viewState{sig: sig, nonCrit: nonCrit, paths: paths})
+			return
+		}
+		// Crossing the threshold: index everything seen so far.
+		if m.index == nil {
+			m.index = make(map[string]int, 2*linearMergeMax)
+		}
+		for i := range m.out {
+			m.fillKey(m.out[i].sig)
+			m.index[string(m.keyBuf)] = i
+		}
+	}
+	m.fillKey(sig)
+	if i, dup := m.index[string(m.keyBuf)]; dup {
+		m.merge(i, nonCrit, paths)
+		return
+	}
+	m.index[string(m.keyBuf)] = len(m.out)
+	m.out = append(m.out, viewState{sig: sig, nonCrit: nonCrit, paths: paths})
+}
+
+func (m *sigMerger) merge(i int, nonCrit rt.Time, paths int64) {
+	s := &m.out[i]
+	if nonCrit > s.nonCrit {
+		s.nonCrit = nonCrit
+	}
+	s.paths = satAddI64(s.paths, paths)
+}
+
+func sigEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
