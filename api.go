@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"dpcpp/internal/analysis"
+	"dpcpp/internal/audit"
 	"dpcpp/internal/experiments"
 	"dpcpp/internal/model"
 	"dpcpp/internal/partition"
@@ -202,3 +203,41 @@ func FormatCurve(c *Curve) string { return experiments.FormatCurve(c) }
 
 // FormatGrid renders Tables 2 and 3.
 func FormatGrid(g *GridResult) string { return experiments.FormatGrid(g) }
+
+// Differential soundness audit (internal/audit).
+type (
+	// AuditConfig tunes one audit run.
+	AuditConfig = audit.Config
+	// AuditReport aggregates an audit run's outcome.
+	AuditReport = audit.Report
+	// AuditViolation is one observed invariant breach.
+	AuditViolation = audit.Violation
+	// AdversarialGenerator synthesizes tasksets outside the paper's grid.
+	AdversarialGenerator = taskgen.Adversarial
+	// Shape identifies one adversarial taskset family.
+	Shape = taskgen.Shape
+)
+
+// Adversarial shapes.
+const (
+	ShapeChain        = taskgen.ShapeChain
+	ShapeForkJoin     = taskgen.ShapeForkJoin
+	ShapeLayered      = taskgen.ShapeLayered
+	ShapeSingleVertex = taskgen.ShapeSingleVertex
+	ShapeContention   = taskgen.ShapeContention
+)
+
+// NewAdversarial returns the default adversarial taskset generator.
+func NewAdversarial() *AdversarialGenerator { return taskgen.NewAdversarial() }
+
+// Audit fuzzes adversarial tasksets and cross-checks every analysis against
+// the simulator and against each other; see internal/audit for the
+// invariants. Violations come back in the report, each with a shrunken
+// reproduction serialized into cfg.FixtureDir.
+func Audit(cfg AuditConfig) (*AuditReport, error) { return audit.Run(cfg) }
+
+// ReplayAuditFixture re-runs the full differential audit on a serialized
+// taskset (a shrunken counterexample or any cmd/taskgen output).
+func ReplayAuditFixture(cfg AuditConfig, path string) ([]AuditViolation, error) {
+	return audit.ReplayFixture(cfg, path)
+}

@@ -13,10 +13,14 @@
 //   - a deterministic discrete-event simulator of the DPCP-p runtime with
 //     protocol invariant checkers, including a Lemma 1 ledger
 //     (package internal/sim),
-//   - the RandFixedSum/Erdős–Rényi taskset synthesis of Sec. VII-A
-//     (package internal/taskgen), and
+//   - the RandFixedSum/Erdős–Rényi taskset synthesis of Sec. VII-A plus
+//     adversarial generators far outside the paper's grid
+//     (package internal/taskgen),
 //   - the experiment harness regenerating Fig. 2 and Tables 2-3
-//     (package internal/experiments).
+//     (package internal/experiments), and
+//   - a differential soundness audit fuzzing adversarial tasksets and
+//     cross-checking every analysis against the simulator
+//     (package internal/audit).
 //
 // # Quick start
 //
@@ -49,4 +53,24 @@
 // (keyed by processor and recurrence base), and the experiment harness
 // drains entire scenario grids through one shared work-conserving pool
 // (experiments.RunGrid) with scheduling-independent deterministic seeding.
+//
+// # The differential audit
+//
+// Every response-time bound in the repository is a soundness claim:
+// "schedulable" must mean no execution misses a deadline. The audit
+// subsystem (internal/audit, CLI `schedtest -audit`) continuously attacks
+// that claim with adversarial tasksets the paper's grid never draws — deep
+// chains, wide fork-joins, random layered DAGs, degenerate single-vertex
+// tasks, and contention-heavy mixes with near-harmonic periods and skewed
+// critical sections. For every certified (taskset, method) verdict it
+// replays the taskset in the simulator under the method's runtime protocol
+// across CS placements and release offsets, and additionally checks that
+// EP never exceeds EN on one identical partition and that every bound is
+// monotone under WCET inflation. A violating taskset is shrunk (drop tasks
+// → drop vertices → halve WCETs → halve request counts) to a minimal JSON
+// reproduction and kept as a permanent regression fixture. The audit
+// already earned its keep: it caught two LPP runtime-protocol bugs
+// (dispatch-time-only boosting, and semaphore acquisition from the ready
+// queue) as certified-taskset deadline misses; the shrunken counterexample
+// lives in internal/audit/testdata/lpp-dispatch-time-locking.json.
 package dpcpp

@@ -1,0 +1,231 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/model"
+	"dpcpp/internal/partition"
+	"dpcpp/internal/rt"
+	"dpcpp/internal/sim"
+)
+
+// methodVerdict is the outcome of one (taskset, method) audit job.
+type methodVerdict struct {
+	res        partition.Result
+	violations []Violation
+}
+
+// protocolFor maps an analysis method to the runtime protocol its bound
+// speaks about. ok=false means no sound simulation exists for the method on
+// this taskset: FED-FP deliberately ignores shared resources (the paper's
+// hypothetical upper envelope), so its bound is only claimed — and only
+// cross-checked — on tasksets that issue no requests at all, where every
+// protocol degenerates to plain federated scheduling.
+func protocolFor(m analysis.Method, ts *model.Taskset) (sim.Protocol, bool) {
+	switch m {
+	case analysis.DPCPpEP, analysis.DPCPpEN:
+		return sim.ProtocolDPCPp, true
+	case analysis.SPIN:
+		return sim.ProtocolSpin, true
+	case analysis.LPP:
+		return sim.ProtocolLPP, true
+	default: // FED-FP
+		for _, t := range ts.Tasks {
+			for _, v := range t.Vertices {
+				if v.TotalRequests() > 0 {
+					return sim.ProtocolDPCPp, false
+				}
+			}
+		}
+		return sim.ProtocolDPCPp, true
+	}
+}
+
+// checkMethod runs one analysis and, when it certifies the taskset, a batch
+// of differential simulator runs against its partition and WCRT bounds.
+func checkMethod(cfg Config, g *genTaskset, mi int, simRuns *atomic.Int64) methodVerdict {
+	m := cfg.Methods[mi]
+	v := methodVerdict{res: analysis.Test(m, g.ts, analysis.Options{PathCap: cfg.PathCap})}
+	if !v.res.Schedulable {
+		return v
+	}
+	proto, ok := protocolFor(m, g.ts)
+	if !ok {
+		return v
+	}
+	// Simulation seeds derive from the generation seed alone — which the
+	// fixture filename preserves — so ReplayFixture reruns the exact
+	// offset vectors that produced a violation, not fresh ones.
+	rng := rand.New(rand.NewSource(seedFor(g.seed, 0, "sim|"+string(m))))
+	v.violations = simBatch(cfg, g, m, proto, v.res, rng, simRuns)
+	return v
+}
+
+// simBatch simulates one certified verdict across CS placements and release
+// offsets over a multi-(near-)hyperperiod horizon and checks soundness:
+// zero deadline misses, responses within the analytical bounds, no protocol
+// invariant violations, and Lemma 1 for DPCP-p.
+func simBatch(cfg Config, g *genTaskset, m analysis.Method, proto sim.Protocol,
+	res partition.Result, rng *rand.Rand, simRuns *atomic.Int64) []Violation {
+
+	var maxPeriod rt.Time
+	for _, t := range g.ts.Tasks {
+		if t.Period > maxPeriod {
+			maxPeriod = t.Period
+		}
+	}
+	horizon := rt.SatMul(int64(cfg.HyperPeriods), maxPeriod)
+
+	var out []Violation
+	report := func(kind, detail string) {
+		out = append(out, Violation{
+			Index: g.index, Seed: g.seed, Shape: g.label,
+			Method: string(m), Kind: kind, Detail: detail,
+		})
+	}
+
+	for _, placement := range []sim.CSPlacement{sim.SpreadCS, sim.FrontCS, sim.BackCS} {
+		for run := 0; run < cfg.SimRuns; run++ {
+			var offsets map[rt.TaskID]rt.Time
+			if run > 0 { // run 0 is the synchronous release
+				offsets = make(map[rt.TaskID]rt.Time, len(g.ts.Tasks))
+				for _, t := range g.ts.Tasks {
+					offsets[t.ID] = rt.Time(rng.Int63n(int64(t.Period)))
+				}
+			}
+			s, err := sim.New(g.ts, res.Partition, sim.Config{
+				Protocol:  proto,
+				Horizon:   horizon,
+				Offsets:   offsets,
+				Placement: placement,
+			})
+			if err != nil {
+				report("sim-error", fmt.Sprintf("sim.New: %v", err))
+				continue
+			}
+			metrics, err := s.Run()
+			simRuns.Add(1)
+			tag := fmt.Sprintf("placement=%d run=%d", placement, run)
+			if err != nil {
+				report("sim-error", fmt.Sprintf("%s: %v", tag, err))
+				continue
+			}
+			if vs := s.Violations(); len(vs) > 0 {
+				report("sim-invariant", fmt.Sprintf("%s: %d violations, first: %s", tag, len(vs), vs[0]))
+			}
+			if metrics.DeadlineMisses > 0 {
+				report("deadline-miss", fmt.Sprintf("%s: %d deadline misses on a certified taskset",
+					tag, metrics.DeadlineMisses))
+			}
+			for _, t := range g.ts.Tasks {
+				if simR, bound := metrics.MaxResponse[t.ID], res.WCRT[t.ID]; simR > bound {
+					report("bound-exceeded", fmt.Sprintf("%s: task %d observed %s > bound %s",
+						tag, t.ID, rt.FormatTime(simR), rt.FormatTime(bound)))
+				}
+			}
+			if proto == sim.ProtocolDPCPp && metrics.MaxLowPrioBlockers > 1 {
+				report("lemma1", fmt.Sprintf("%s: %d lower-priority blockers on one request",
+					tag, metrics.MaxLowPrioBlockers))
+			}
+		}
+	}
+	return out
+}
+
+// analyzerFor constructs the method's analyzer over the taskset.
+func analyzerFor(m analysis.Method, ts *model.Taskset, pathCap int) partition.Analyzer {
+	if pathCap <= 0 {
+		pathCap = analysis.DefaultPathCap
+	}
+	switch m {
+	case analysis.DPCPpEP:
+		return analysis.NewDPCPp(ts, pathCap, false)
+	case analysis.DPCPpEN:
+		return analysis.NewDPCPp(ts, pathCap, true)
+	case analysis.SPIN:
+		return analysis.NewSpin(ts)
+	case analysis.LPP:
+		return analysis.NewLPP(ts)
+	default:
+		return analysis.NewFedFP(ts)
+	}
+}
+
+// crossChecks runs the cross-method invariants once all method jobs of a
+// taskset are in: EP never exceeds EN on one identical partition, and every
+// bound is monotone under WCET inflation on one identical partition.
+func crossChecks(cfg Config, g *genTaskset, results []methodVerdict) []Violation {
+	var out []Violation
+	report := func(method analysis.Method, kind, detail string) {
+		out = append(out, Violation{
+			Index: g.index, Seed: g.seed, Shape: g.label,
+			Method: string(method), Kind: kind, Detail: detail,
+		})
+	}
+
+	// EP <= EN per task on one identical, fully-placed partition. Use the
+	// partition of whichever DPCP-p variant certified the set (the two
+	// pipelines may augment differently; the invariant is per-partition).
+	var dpcpPart *partition.Partition
+	for mi, m := range cfg.Methods {
+		if (m == analysis.DPCPpEN || m == analysis.DPCPpEP) && results[mi].res.Schedulable {
+			dpcpPart = results[mi].res.Partition
+			if m == analysis.DPCPpEN {
+				break // prefer EN's partition when both certified
+			}
+		}
+	}
+	if dpcpPart != nil {
+		ep := analyzerFor(analysis.DPCPpEP, g.ts, cfg.PathCap).WCRTs(dpcpPart)
+		en := analyzerFor(analysis.DPCPpEN, g.ts, cfg.PathCap).WCRTs(dpcpPart)
+		for _, t := range g.ts.Tasks {
+			if ep[t.ID] > en[t.ID] {
+				report(analysis.DPCPpEP, "ep-exceeds-en",
+					fmt.Sprintf("task %d: EP %s > EN %s on the same partition",
+						t.ID, rt.FormatTime(ep[t.ID]), rt.FormatTime(en[t.ID])))
+			}
+		}
+	}
+
+	// WCET-scaling monotonicity: inflate every vertex WCET by 5/4 (ceiled),
+	// holding periods, deadlines, priorities, structure and requests fixed,
+	// and re-evaluate each certifying method's analyzer on a clone of its
+	// own final partition. Bounds must not shrink.
+	scaled, err := inflateWCET(g.ts)
+	if err != nil {
+		report("", "non-monotone", fmt.Sprintf("building scaled taskset: %v", err))
+		return out
+	}
+	for mi, m := range cfg.Methods {
+		if !results[mi].res.Schedulable {
+			continue
+		}
+		p := results[mi].res.Partition
+		p2, err := p.CloneFor(scaled)
+		if err != nil {
+			report(m, "non-monotone", fmt.Sprintf("rebinding partition: %v", err))
+			continue
+		}
+		base := analyzerFor(m, g.ts, cfg.PathCap).WCRTs(p)
+		infl := analyzerFor(m, scaled, cfg.PathCap).WCRTs(p2)
+		for _, t := range g.ts.Tasks {
+			if infl[t.ID] < base[t.ID] {
+				report(m, "non-monotone",
+					fmt.Sprintf("task %d: bound shrank from %s to %s under WCET inflation",
+						t.ID, rt.FormatTime(base[t.ID]), rt.FormatTime(infl[t.ID])))
+			}
+		}
+	}
+	return out
+}
+
+// inflateWCET returns a structure-preserving copy of the taskset with every
+// vertex WCET inflated by 5/4 (ceiled), requests and timing untouched.
+func inflateWCET(ts *model.Taskset) (*model.Taskset, error) {
+	return rebuild(ts, func(t *model.Task, v *model.Vertex) (rt.Time, bool) {
+		return v.WCET + (v.WCET+3)/4, true
+	})
+}

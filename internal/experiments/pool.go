@@ -1,12 +1,51 @@
 package experiments
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/taskgen"
 )
+
+// ParallelFor runs fn(worker, i) for every i in [0, n) on up to workers
+// goroutines, handing indices out through one shared atomic counter so the
+// pool is work-conserving: no worker idles while indices remain. The worker
+// argument (in [0, workers)) lets callers keep cheap worker-local state
+// (caches, RNGs) without locking. ParallelFor returns when every index has
+// been processed; fn must do its own synchronization on shared state.
+//
+// This is the one scheduling primitive behind both the experiment grids
+// (runPool) and the differential audit (internal/audit): every heavy sweep
+// in the repository drains through it.
+func ParallelFor(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
 
 // gridJob identifies one (scenario, point, sample) work unit of a sweep.
 type gridJob struct {
@@ -32,11 +71,12 @@ type jobError struct {
 }
 
 // runPool is the grid-level scheduler behind Campaign.Run and RunGrid: one
-// shared, work-conserving pool of workers drains every (scenario, point,
-// sample) job of every campaign, so multi-scenario sweeps keep all cores
-// busy instead of a per-scenario pool idling through each scenario's tail.
-// Campaigns must already be normalized. onCurve, when non-nil, fires once
-// per campaign the moment its last job completes (from a worker goroutine).
+// shared, work-conserving pool of workers (ParallelFor) drains every
+// (scenario, point, sample) job of every campaign, so multi-scenario sweeps
+// keep all cores busy instead of a per-scenario pool idling through each
+// scenario's tail. Campaigns must already be normalized. onCurve, when
+// non-nil, fires once per campaign the moment its last job completes (from
+// a worker goroutine).
 //
 // Determinism: each sample's generator seed is a pure function of
 // (campaign seed, scenario name, point, sample), and accepted counts are
@@ -45,60 +85,54 @@ type jobError struct {
 func runPool(camps []Campaign, workers int, onCurve func(int, *Curve)) ([]*Curve, *jobError) {
 	curves := make([]*Curve, len(camps))
 	remaining := make([]atomic.Int64, len(camps))
-	totalJobs := 0
+	// offsets[i] is the flat index of campaign i's first job; the flat
+	// index space [0, offsets[len]) is what ParallelFor iterates.
+	offsets := make([]int, len(camps)+1)
 	for i, c := range camps {
 		curves[i] = newCurve(c)
 		n := len(curves[i].Points) * c.TasksetsPerPoint
 		remaining[i].Store(int64(n))
-		totalJobs += n
+		offsets[i+1] = offsets[i] + n
 		if n == 0 && onCurve != nil {
 			onCurve(i, curves[i])
 		}
 	}
+	totalJobs := offsets[len(camps)]
 	if totalJobs == 0 {
 		return curves, nil
 	}
 	if workers > totalJobs {
 		workers = totalJobs
 	}
-
-	jobs := make(chan gridJob, workers)
-	go func() {
-		for ci := range camps {
-			for pi := range curves[ci].Points {
-				for s := 0; s < camps[ci].TasksetsPerPoint; s++ {
-					jobs <- gridJob{scen: ci, point: pi, sample: s}
-				}
-			}
-		}
-		close(jobs)
-	}()
+	if workers < 1 {
+		workers = 1
+	}
 
 	var mu sync.Mutex // guards curve points and firstErr
 	var firstErr *jobError
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			// Generators are per-scenario and stateless across samples;
-			// each worker lazily builds its own so no locking is needed.
-			gens := make(map[int]*taskgen.Generator, len(camps))
-			for jb := range jobs {
-				c := &camps[jb.scen]
-				g := gens[jb.scen]
-				if g == nil {
-					g = taskgen.NewGenerator(c.Scenario)
-					gens[jb.scen] = g
-				}
-				runJob(c, g, curves[jb.scen], jb, &mu, &firstErr)
-				if remaining[jb.scen].Add(-1) == 0 && onCurve != nil {
-					onCurve(jb.scen, curves[jb.scen])
-				}
-			}
-		}()
+	// Generators are per-scenario and stateless across samples; each worker
+	// lazily builds its own so no locking is needed.
+	gens := make([]map[int]*taskgen.Generator, workers)
+	for w := range gens {
+		gens[w] = make(map[int]*taskgen.Generator, len(camps))
 	}
-	wg.Wait()
+	ParallelFor(workers, totalJobs, func(worker, idx int) {
+		ci := sort.SearchInts(offsets[1:], idx+1)
+		rem := idx - offsets[ci]
+		samples := camps[ci].TasksetsPerPoint
+		jb := gridJob{scen: ci, point: rem / samples, sample: rem % samples}
+
+		c := &camps[ci]
+		g := gens[worker][ci]
+		if g == nil {
+			g = taskgen.NewGenerator(c.Scenario)
+			gens[worker][ci] = g
+		}
+		runJob(c, g, curves[ci], jb, &mu, &firstErr)
+		if remaining[ci].Add(-1) == 0 && onCurve != nil {
+			onCurve(ci, curves[ci])
+		}
+	})
 	return curves, firstErr
 }
 

@@ -2,11 +2,40 @@ package experiments
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dpcpp/internal/rt"
 	"dpcpp/internal/taskgen"
 )
+
+// TestParallelFor: every index is processed exactly once, worker IDs stay
+// in range, and degenerate worker/index counts are handled.
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		for _, n := range []int{0, 1, 7, 100} {
+			eff := workers // the clamped worker count ParallelFor promises
+			if eff > n {
+				eff = n
+			}
+			if eff < 1 {
+				eff = 1
+			}
+			hits := make([]atomic.Int64, n)
+			ParallelFor(workers, n, func(w, i int) {
+				if w < 0 || w >= eff {
+					t.Errorf("worker %d out of range (workers=%d n=%d eff=%d)", w, workers, n, eff)
+				}
+				hits[i].Add(1)
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d processed %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
 
 // secondScenario differs from fastScenario so cross-scenario mixing in the
 // shared pool is actually exercised.

@@ -1,0 +1,65 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"dpcpp/internal/rt"
+)
+
+// FuzzTasksetJSON fuzzes the taskset JSON surface (cmd/taskgen output,
+// audit fixtures, cmd/dpcpsim input): any byte slice that decodes into a
+// valid taskset must re-encode bit-stably — Taskset → JSON → Taskset →
+// JSON yields identical bytes — and the round-tripped taskset must agree
+// on every derived quantity. Inputs Finalize rejects are simply skipped;
+// the fuzzer's other job is proving Finalize rejects malformed documents
+// instead of panicking (hostile vertex IDs, negative CS lengths, negative
+// resource counts, overflowing WCETs).
+//
+// The seed corpus lives in testdata/fuzz/FuzzTasksetJSON; run
+// `go test -fuzz FuzzTasksetJSON ./internal/model` to hunt.
+func FuzzTasksetJSON(f *testing.F) {
+	f.Add([]byte(`{"tasks":[{"id":0,"period":1000,"deadline":1000,"vertices":[{"id":0,"wcet":100}]}],"num_resources":0,"num_procs":2}`))
+	f.Add([]byte(`{"tasks":[],"num_resources":-1,"num_procs":2}`))
+	f.Add([]byte(`{"tasks":[{"id":0,"period":1000,"deadline":1000,"vertices":[{"id":7,"wcet":100}]}],"num_resources":0,"num_procs":2}`))
+	f.Add([]byte(`{"tasks":[{"id":0,"period":1000,"deadline":1000,"priority":1,"vertices":[{"id":0,"wcet":100,"requests":{"0":2}}],"cslen":[-5]}],"num_resources":1,"num_procs":2}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := DecodeTaskset(bytes.NewReader(data))
+		if err != nil {
+			return // malformed or invalid: rejection (not a panic) is the contract
+		}
+		var first bytes.Buffer
+		if err := EncodeTaskset(&first, ts); err != nil {
+			t.Fatalf("encoding a decoded taskset: %v", err)
+		}
+		ts2, err := DecodeTaskset(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := EncodeTaskset(&second, ts2); err != nil {
+			t.Fatalf("re-encoding: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip not bit-stable:\nfirst:  %s\nsecond: %s",
+				first.String(), second.String())
+		}
+		if len(ts2.Tasks) != len(ts.Tasks) {
+			t.Fatalf("task count changed: %d -> %d", len(ts.Tasks), len(ts2.Tasks))
+		}
+		for i := range ts.Tasks {
+			a, b := ts.Tasks[i], ts2.Tasks[i]
+			if a.WCET() != b.WCET() || a.LongestPath() != b.LongestPath() ||
+				a.Priority != b.Priority || a.Deadline != b.Deadline {
+				t.Fatalf("task %d: derived quantities diverged across round trip", i)
+			}
+			for q := 0; q < ts.NumResources; q++ {
+				rid := rt.ResourceID(q)
+				if a.NumRequests(rid) != b.NumRequests(rid) || a.CS(rid) != b.CS(rid) {
+					t.Fatalf("task %d resource %d: request profile diverged", i, q)
+				}
+			}
+		}
+	})
+}

@@ -135,6 +135,11 @@ func (t *Task) Finalize(numResources int) error {
 		return fmt.Errorf("model: task %d references resource beyond taskset's %d resources",
 			t.ID, numResources)
 	}
+	for q, cs := range t.CSLen {
+		if cs < 0 {
+			return fmt.Errorf("model: task %d has negative CS length %d on resource %d", t.ID, cs, q)
+		}
+	}
 
 	n := len(t.Vertices)
 	t.succ = make([][]rt.VertexID, n)
@@ -159,11 +164,17 @@ func (t *Task) Finalize(numResources int) error {
 
 	t.wcet = 0
 	t.nReq = make([]int64, numResources)
-	for _, v := range t.Vertices {
+	for x, v := range t.Vertices {
+		// Vertex IDs are assigned by AddVertex and must equal the slice
+		// index: the simulator and segment builder index by them. A JSON
+		// document is free to claim otherwise, so Finalize enforces it.
+		if v.ID != rt.VertexID(x) {
+			return fmt.Errorf("model: task %d vertex at index %d carries ID %d", t.ID, x, v.ID)
+		}
 		if v.WCET <= 0 {
 			return fmt.Errorf("model: task %d vertex %d has non-positive WCET", t.ID, v.ID)
 		}
-		t.wcet += v.WCET
+		t.wcet = rt.SatAdd(t.wcet, v.WCET)
 		var cs rt.Time
 		for q, c := range v.Requests {
 			if c < 0 {
@@ -181,11 +192,12 @@ func (t *Task) Finalize(numResources int) error {
 		}
 	}
 
-	// Longest path over the DAG in topological order.
+	// Longest path over the DAG in topological order (saturating, so
+	// absurd decoded WCETs cannot wrap into negative lengths).
 	dist := make([]rt.Time, n)
 	t.longestPath = 0
 	for _, x := range t.topo {
-		d := dist[x] + t.Vertices[x].WCET
+		d := rt.SatAdd(dist[x], t.Vertices[x].WCET)
 		if d > t.longestPath {
 			t.longestPath = d
 		}

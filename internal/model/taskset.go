@@ -37,6 +37,9 @@ func (ts *Taskset) Finalize() error {
 	if ts.NumProcs < 2 {
 		return fmt.Errorf("model: taskset needs m >= 2 processors, have %d", ts.NumProcs)
 	}
+	if ts.NumResources < 0 {
+		return fmt.Errorf("model: negative resource count %d", ts.NumResources)
+	}
 	seen := make(map[rt.TaskID]bool, len(ts.Tasks))
 	for _, t := range ts.Tasks {
 		if seen[t.ID] {

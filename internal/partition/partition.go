@@ -181,6 +181,35 @@ func (p *Partition) ClusterResources(id rt.TaskID) []rt.ResourceID {
 	return out
 }
 
+// CloneFor returns a deep copy of the partition bound to another taskset,
+// which must have the same processor count and contain every task ID the
+// partition mentions. The audit's WCET-scaling check uses it to evaluate an
+// analyzer on an identical partition of a perturbed taskset (the partition
+// only names task, processor and resource IDs, all of which a structure-
+// preserving perturbation keeps).
+func (p *Partition) CloneFor(ts *model.Taskset) (*Partition, error) {
+	if ts.NumProcs != p.TS.NumProcs {
+		return nil, fmt.Errorf("partition: CloneFor needs %d processors, taskset has %d",
+			p.TS.NumProcs, ts.NumProcs)
+	}
+	if ts.NumResources != p.TS.NumResources {
+		return nil, fmt.Errorf("partition: CloneFor needs %d resources, taskset has %d",
+			p.TS.NumResources, ts.NumResources)
+	}
+	ids := make(map[rt.TaskID]bool, len(ts.Tasks))
+	for _, t := range ts.Tasks {
+		ids[t.ID] = true
+	}
+	for id := range p.procs {
+		if !ids[id] {
+			return nil, fmt.Errorf("partition: CloneFor target lacks task %d", id)
+		}
+	}
+	c := p.Clone()
+	c.TS = ts
+	return c, nil
+}
+
 // Clone returns a deep copy (used by Algorithm 1 to restart cleanly).
 func (p *Partition) Clone() *Partition {
 	c := New(p.TS)

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dpcpp/internal/partition"
+	"dpcpp/internal/rt"
+)
+
+// The invariant checkers are the simulator's own audit: they must surface
+// corrupted runtime states through Violations(), never silently return a
+// plausible Metrics value. These tests corrupt a live Sim's internal state
+// directly (white-box, same package) and assert every checker fires.
+
+// brokenSim builds a finished-construction simulator over the Fig. 1
+// taskset whose internal state tests may corrupt at will.
+func brokenSim(t *testing.T) *Sim {
+	t.Helper()
+	ts := figure1Tasks(t)
+	p := partition.New(ts)
+	p.Assign(0, 2)
+	p.Assign(1, 2)
+	p.PlaceResource(0, 1)
+	s, err := New(ts, p, Config{Horizon: 30 * us})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// vertexAt fabricates a runnable vertexRun of the task in the given
+// placement, as the release path would.
+func vertexAt(s *Sim, task rt.TaskID, x rt.VertexID, placement CSPlacement) *vertexRun {
+	st := s.tasks[task]
+	job := &jobState{task: st, release: 0, deadline: st.t.Deadline, finish: -1}
+	vr := &vertexRun{
+		job:     job,
+		x:       x,
+		segs:    BuildSegments(st.t, x, placement),
+		holding: NoResource,
+	}
+	vr.remaining = vr.segs[0].Dur
+	return vr
+}
+
+func wantViolation(t *testing.T, s *Sim, substr string) {
+	t.Helper()
+	for _, v := range s.Violations() {
+		if strings.Contains(v, substr) {
+			return
+		}
+	}
+	t.Errorf("no violation containing %q; got %v", substr, s.Violations())
+}
+
+// TestViolationsSurfaceMutualExclusion: two agents executing requests on
+// one resource, one of them without holding the lock.
+func TestViolationsSurfaceMutualExclusion(t *testing.T) {
+	s := brokenSim(t)
+	vr1 := vertexAt(s, 0, 1, FrontCS) // v_{i,2} requests global l0
+	vr2 := vertexAt(s, 1, 2, FrontCS) // v_{j,3} requests global l0
+	req1 := &request{id: 1, vr: vr1, res: s.res[0], prio: vr1.job.task.t.Priority}
+	req2 := &request{id: 2, vr: vr2, res: s.res[0], prio: vr2.job.task.t.Priority}
+	s.res[0].lockedBy = req1
+	s.procs[1].curReq = req1
+	s.procs[2].curReq = req2 // executes l0 without the lock
+	s.checkInvariants()
+	wantViolation(t, s, "without holding the lock")
+	wantViolation(t, s, "mutual exclusion violated on l0")
+}
+
+// TestViolationsSurfaceLocalCSWithoutLock: a vertex executing a local
+// critical section whose lock nobody holds.
+func TestViolationsSurfaceLocalCSWithoutLock(t *testing.T) {
+	s := brokenSim(t)
+	vr := vertexAt(s, 0, 2, FrontCS) // v_{i,3}'s first segment is a CS on local l1
+	if !vr.segs[0].IsCS() {
+		t.Fatalf("fixture assumption broken: segs = %v", vr.segs)
+	}
+	s.procs[0].curVert = vr
+	s.checkInvariants()
+	wantViolation(t, s, "executes local CS l1 without the lock")
+}
+
+// TestViolationsSurfaceWorkConservation: ready vertices with every cluster
+// processor idle.
+func TestViolationsSurfaceWorkConservation(t *testing.T) {
+	s := brokenSim(t)
+	st := s.tasks[0]
+	st.rqN = append(st.rqN, vertexAt(s, 0, 0, SpreadCS))
+	s.checkInvariants()
+	wantViolation(t, s, "idle while task 0 has 1 ready vertices")
+}
+
+// TestViolationsSurfaceAgentPriority: a processor running a normal vertex
+// while an agent request is ready, and a lower-priority agent while a
+// higher-priority one waits.
+func TestViolationsSurfaceAgentPriority(t *testing.T) {
+	s := brokenSim(t)
+	vr := vertexAt(s, 0, 0, SpreadCS)
+	s.procs[1].curVert = vr
+	req := &request{id: 1, vr: vertexAt(s, 1, 2, FrontCS), res: s.res[0], prio: 1}
+	s.res[0].lockedBy = req
+	s.procs[1].rqG = append(s.procs[1].rqG, req)
+	s.checkInvariants()
+	wantViolation(t, s, "runs a vertex while 1 agent requests are ready")
+
+	lo := &request{id: 2, vr: vertexAt(s, 0, 1, FrontCS), res: s.res[0], prio: 1}
+	hi := &request{id: 3, vr: vertexAt(s, 1, 2, FrontCS), res: s.res[0], prio: 2}
+	s.procs[1].curVert = nil
+	s.procs[1].curReq = lo
+	s.procs[1].rqG = []*request{lo, hi}
+	s.checkInvariants()
+	wantViolation(t, s, "runs agent prio 1 while prio 2 is ready")
+}
+
+// TestViolationsSurfaceLemma1: a pending request blocked by two distinct
+// lower-priority requests must be flagged (the ceiling makes this
+// impossible; the ledger must catch it if the ceiling breaks).
+func TestViolationsSurfaceLemma1(t *testing.T) {
+	s := brokenSim(t)
+	req := &request{id: 1, vr: vertexAt(s, 0, 1, FrontCS), res: s.res[0],
+		prio: 3, granted: -1, blockedBy: map[int64]bool{10: true, 11: true}}
+	s.pending = append(s.pending, req)
+	s.checkInvariants()
+	wantViolation(t, s, "Lemma 1 violated")
+}
+
+// TestViolationsAreCapped: the recorder keeps at most 100 entries, so a
+// pathological run cannot exhaust memory through its own diagnostics.
+func TestViolationsAreCapped(t *testing.T) {
+	s := brokenSim(t)
+	for i := 0; i < 250; i++ {
+		s.violate("synthetic violation %d", i)
+	}
+	if n := len(s.Violations()); n != 100 {
+		t.Errorf("recorded %d violations, want cap of 100", n)
+	}
+}
+
+// TestNewRejectsBrokenPartitions: structurally broken partitions must fail
+// at construction, not produce a silently wrong simulation.
+func TestNewRejectsBrokenPartitions(t *testing.T) {
+	ts := figure1Tasks(t)
+
+	// Global resource never placed.
+	p := partition.New(ts)
+	p.Assign(0, 2)
+	p.Assign(1, 2)
+	if _, err := New(ts, p, Config{Horizon: 30 * us}); err == nil {
+		t.Error("unplaced global resource accepted")
+	}
+
+	// A task with no processors at all.
+	p2 := partition.New(ts)
+	p2.Assign(0, 2)
+	p2.PlaceResource(0, 1)
+	if _, err := New(ts, p2, Config{Horizon: 30 * us}); err == nil {
+		t.Error("processor-less task accepted")
+	}
+
+	// Non-positive horizon.
+	p3 := partition.New(ts)
+	p3.Assign(0, 2)
+	p3.Assign(1, 2)
+	p3.PlaceResource(0, 1)
+	if _, err := New(ts, p3, Config{}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+// TestMetricsSilentWithoutViolationCheck documents the contract the audit
+// relies on: a corrupted run keeps returning a well-formed Metrics value,
+// and only Violations() reveals the breakage — callers must check it.
+func TestMetricsSilentWithoutViolationCheck(t *testing.T) {
+	s := brokenSim(t)
+	st := s.tasks[0]
+	st.rqN = append(st.rqN, vertexAt(s, 0, 0, SpreadCS))
+	before := s.metrics
+	s.checkInvariants()
+	if s.metrics.Jobs != before.Jobs || s.metrics.DeadlineMisses != before.DeadlineMisses ||
+		s.metrics.Requests != before.Requests {
+		t.Error("invariant checking mutated Metrics; violations must be a separate channel")
+	}
+	if len(s.Violations()) == 0 {
+		t.Error("corrupted state produced no violations")
+	}
+}

@@ -23,7 +23,15 @@ const (
 	// ProtocolLPP executes every request locally with suspension-based
 	// FIFO semaphores and holder priority boosting (the LPP baseline
 	// runtime): a vertex whose lock is busy releases its processor; lock
-	// holders are scheduled ahead of non-holders in their cluster.
+	// holders are boosted above every non-holder in their cluster,
+	// preemptively — a granted holder never waits for a processor behind
+	// non-critical work. (The LPP analysis bounds each FIFO wait by the
+	// critical-section lengths ahead in the queue, which is only sound
+	// when holders run as soon as they are granted; dispatch-time-only
+	// boosting lets a holder stall behind its own task's non-critical
+	// vertices and leaks that stall into other tasks' FIFO waits. The
+	// differential audit caught exactly this as certified-taskset deadline
+	// misses.)
 	ProtocolLPP
 )
 
@@ -377,26 +385,19 @@ func (s *Sim) activate(vr *vertexRun) {
 		return
 	}
 	rs := s.res[seg.Res]
-	if s.cfg.Protocol == ProtocolSpin {
-		// Local execution with spinning: the lock attempt happens when a
-		// processor picks the vertex (spinning must occupy a processor).
-		vr.job.task.rqN = append(vr.job.task.rqN, vr)
-		return
-	}
 	if s.cfg.Protocol == ProtocolDPCPp && rs.global {
 		s.issueGlobalRequest(vr, rs)
 		return
 	}
-	// Locally executed semaphore: DPCP-p local resources (Rules 1 and 2)
-	// and every resource under LPP.
-	if rs.lockedBy != nil {
-		rs.waiters = append(rs.waiters, vr) // suspended in SQ_i
-		s.metrics.Suspensions++
-		return
-	}
-	rs.lockedBy = vr
-	vr.holding = rs.q
-	vr.job.task.rqL = append(vr.job.task.rqL, vr)
+	// Locally-executed resource — spinning (ProtocolSpin) or a semaphore
+	// (DPCP-p local resources per Rules 1 and 2, every resource under
+	// LPP): the lock attempt happens when a processor picks the vertex
+	// (startVertex). A semaphore can only be acquired from running code;
+	// acquiring it from the ready queue would let a vertex hold the lock
+	// while waiting for a processor behind its own task's non-critical
+	// work, inflating other tasks' FIFO waits beyond any analytical bound
+	// (the differential audit caught exactly this under LPP).
+	vr.job.task.rqN = append(vr.job.task.rqN, vr)
 }
 
 // issueGlobalRequest implements Rule 3.
@@ -638,7 +639,14 @@ func (s *Sim) requeueFront(vr *vertexRun) {
 // preemption on one processor can return a vertex to a ready queue that an
 // earlier-visited sibling processor should pick up within the same instant.
 func (s *Sim) schedule() {
-	for iter := 0; iter < 4*len(s.procs)+4; iter++ {
+	// Preemption chains are bounded by the processor count, but a popped
+	// vertex suspending on a busy semaphore also counts as a change, so
+	// the bound includes the ready backlog.
+	ready := 0
+	for _, st := range s.tasks {
+		ready += len(st.rqL) + len(st.rqN)
+	}
+	for iter := 0; iter < 4*len(s.procs)+4+2*ready; iter++ {
 		changed := false
 		for _, k := range s.procs {
 			if s.scheduleProc(k) {
@@ -686,12 +694,24 @@ func (s *Sim) scheduleProc(k *procState) bool {
 		}
 		// Partitioned fixed-priority between co-located tasks (Sec. VI):
 		// a ready vertex of a strictly higher-priority task preempts.
+		// Even when the popped vertex suspends on a busy semaphore instead
+		// of starting, queues changed, so report true and let the fixpoint
+		// re-schedule this processor.
 		if best := s.bestVertexTask(k); best != nil &&
 			best != k.curVert.job.task &&
 			best.t.Priority.Higher(k.curVert.job.task.t.Priority) {
 			s.preemptVertex(k)
 			s.startNextVertex(k, best)
 			return true
+		}
+		// ProtocolLPP: boosting is preemptive — a ready lock holder
+		// outranks every non-holding vertex on the processor.
+		if s.cfg.Protocol == ProtocolLPP && k.curVert.holding == NoResource {
+			if holder := s.bestHolderTask(k); holder != nil {
+				s.preemptVertex(k)
+				s.startNextVertex(k, holder)
+				return true
+			}
 		}
 		return false
 	}
@@ -700,11 +720,17 @@ func (s *Sim) scheduleProc(k *procState) bool {
 		s.startRequest(k, top)
 		return true
 	}
-	if best := s.bestVertexTask(k); best != nil {
-		s.startNextVertex(k, best)
-		return true
+	changed := false
+	for {
+		best := s.bestVertexTask(k)
+		if best == nil {
+			return changed
+		}
+		if s.startNextVertex(k, best) {
+			return true
+		}
+		changed = true // popped vertex suspended; try the next candidate
 	}
-	return false
 }
 
 // bestVertexTask returns the highest-priority task among the processor's
@@ -726,17 +752,39 @@ func (s *Sim) bestVertexTask(k *procState) *taskState {
 	return best
 }
 
-// startNextVertex pops the task's RQL (first) or RQN and runs it on k.
-func (s *Sim) startNextVertex(k *procState, st *taskState) {
+// bestHolderTask returns the highest-priority task among the processor's
+// owner and co-located lights with a ready lock holder (non-empty RQL), or
+// nil. Used by the LPP preemptive-boosting rule.
+func (s *Sim) bestHolderTask(k *procState) *taskState {
+	var best *taskState
+	consider := func(st *taskState) {
+		if st == nil || len(st.rqL) == 0 {
+			return
+		}
+		if best == nil || st.t.Priority.Higher(best.t.Priority) {
+			best = st
+		}
+	}
+	consider(k.owner)
+	for _, st := range k.lights {
+		consider(st)
+	}
+	return best
+}
+
+// startNextVertex pops the task's RQL (first) or RQN and runs it on k. It
+// reports whether work actually started: a popped vertex whose first action
+// is acquiring a busy semaphore suspends into the resource's wait list
+// instead, leaving the processor free (but queues changed).
+func (s *Sim) startNextVertex(k *procState, st *taskState) bool {
 	if len(st.rqL) > 0 {
 		vr := st.rqL[0]
 		st.rqL = st.rqL[1:]
-		s.startVertex(k, vr)
-		return
+		return s.startVertex(k, vr)
 	}
 	vr := st.rqN[0]
 	st.rqN = st.rqN[1:]
-	s.startVertex(k, vr)
+	return s.startVertex(k, vr)
 }
 
 func (s *Sim) preemptRequest(k *procState) {
@@ -772,14 +820,20 @@ func (s *Sim) startRequest(k *procState, req *request) {
 	}
 }
 
-func (s *Sim) startVertex(k *procState, vr *vertexRun) {
+// startVertex runs the vertex on k, attempting its current segment's lock
+// first when that segment is a locally-executed critical section. It
+// reports whether the processor is now occupied: false means the vertex
+// suspended on a busy semaphore (LPP, or a DPCP-p local resource) and the
+// processor remains free for other work.
+func (s *Sim) startVertex(k *procState, vr *vertexRun) bool {
 	seg := vr.segs[vr.segIdx]
-	if s.cfg.Protocol == ProtocolSpin && seg.IsCS() && vr.holding != seg.Res {
+	if seg.IsCS() && vr.holding != seg.Res {
 		rs := s.res[seg.Res]
-		if rs.lockedBy == nil {
+		switch {
+		case rs.lockedBy == nil:
 			rs.lockedBy = vr
 			vr.holding = rs.q
-		} else {
+		case s.cfg.Protocol == ProtocolSpin:
 			// Busy: spin in place, keeping the processor (FIFO by spin
 			// start). No completion event; grantToSpinner resumes us.
 			k.curVert = vr
@@ -788,7 +842,13 @@ func (s *Sim) startVertex(k *procState, vr *vertexRun) {
 			k.token++
 			rs.waiters = append(rs.waiters, vr)
 			s.beginSpan(k, fmt.Sprintf("%s:spin:l%d", vr, seg.Res), false, false)
-			return
+			return true
+		default:
+			// Busy semaphore: suspend into SQ_i without occupying the
+			// processor; finishLocalCS hands the lock (and RQL entry) over.
+			rs.waiters = append(rs.waiters, vr)
+			s.metrics.Suspensions++
+			return false
 		}
 	}
 	k.curVert = vr
@@ -796,6 +856,7 @@ func (s *Sim) startVertex(k *procState, vr *vertexRun) {
 	k.token++
 	s.beginSpan(k, fmt.Sprintf("%s%s", vr, segSuffix(seg)), seg.IsCS(), false)
 	s.push(&event{at: s.now + vr.remaining, kind: evSegEnd, proc: k, tok: k.token})
+	return true
 }
 
 func segSuffix(seg Segment) string {

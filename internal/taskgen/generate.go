@@ -169,35 +169,34 @@ func (g *Generator) drawResources(r *rand.Rand, nr int, wcet, deadline rt.Time, 
 	return draws
 }
 
-// buildDAG builds the Erdős–Rényi structure and distributes WCET and
-// requests subject to the plausibility constraints. The construction is
-// correct by design:
-//
-//   - h[x] = the maximum number of vertices on any chain through x. Every
-//     vertex WCET is capped at (D/2 - margin)/h[x], so any complete path
-//     lambda satisfies L(lambda) <= sum (D/2 - margin)/h[x] < D/2 because
-//     h[x] >= |lambda| for every x on lambda.
-//   - Request units are only placed on vertices whose remaining cap can
-//     absorb the critical section, so C_{i,x} >= sum_q N_{i,x,q} L_{i,q}.
+// diEdge is a directed precedence edge between vertex indices; from < to,
+// so vertex indices always form a topological order.
+type diEdge struct{ from, to int }
+
+// buildDAG builds the Erdős–Rényi structure and hands it to assembleTask.
 func (g *Generator) buildDAG(r *rand.Rand, id rt.TaskID, period, deadline, wcet rt.Time,
 	nVerts int, edgeProb float64, draws []resourceDraw, nr int) (*model.Task, error) {
 
-	type edge struct{ from, to int }
-	var edges []edge
-	succ := make([][]int, nVerts)
-	pred := make([][]int, nVerts)
+	var edges []diEdge
 	for i := 0; i < nVerts; i++ {
 		for j := i + 1; j < nVerts; j++ {
 			if r.Float64() < edgeProb {
-				edges = append(edges, edge{i, j})
-				succ[i] = append(succ[i], j)
-				pred[j] = append(pred[j], i)
+				edges = append(edges, diEdge{i, j})
 			}
 		}
 	}
+	return assembleTask(r, id, period, deadline, wcet, nVerts, edges, draws, nr)
+}
 
-	// Hop-longest chain through each vertex (vertex indices already form a
-	// topological order because edges only go from lower to higher index).
+// chainHeights returns h[x] = the maximum number of vertices on any chain
+// through x, for a DAG whose edges go from lower to higher vertex index.
+func chainHeights(nVerts int, edges []diEdge) []int {
+	succ := make([][]int, nVerts)
+	pred := make([][]int, nVerts)
+	for _, e := range edges {
+		succ[e.from] = append(succ[e.from], e.to)
+		pred[e.to] = append(pred[e.to], e.from)
+	}
 	fwd := make([]int, nVerts) // longest hop chain ending at x (inclusive)
 	bwd := make([]int, nVerts) // longest hop chain starting at x (inclusive)
 	for x := 0; x < nVerts; x++ {
@@ -208,6 +207,7 @@ func (g *Generator) buildDAG(r *rand.Rand, id rt.TaskID, period, deadline, wcet 
 			}
 		}
 	}
+	h := make([]int, nVerts)
 	for x := nVerts - 1; x >= 0; x-- {
 		bwd[x] = 1
 		for _, s := range succ[x] {
@@ -215,19 +215,47 @@ func (g *Generator) buildDAG(r *rand.Rand, id rt.TaskID, period, deadline, wcet 
 				bwd[x] = bwd[s] + 1
 			}
 		}
+		h[x] = fwd[x] + bwd[x] - 1
 	}
+	return h
+}
 
+// vertexCaps returns the per-vertex WCET caps (D/2 - margin)/h[x] and their
+// sum; a non-positive cap base yields nil.
+func vertexCaps(nVerts int, edges []diEdge, deadline rt.Time) (caps []rt.Time, capSum rt.Time) {
 	margin := rt.Time(2 * nVerts) // nanoseconds of slack for rounding fixes
 	capBase := deadline/2 - margin
 	if capBase <= 0 {
-		return nil, fmt.Errorf("deadline %d too short for %d vertices", deadline, nVerts)
+		return nil, 0
 	}
-	caps := make([]rt.Time, nVerts)
-	var capSum rt.Time
+	h := chainHeights(nVerts, edges)
+	caps = make([]rt.Time, nVerts)
 	for x := 0; x < nVerts; x++ {
-		h := fwd[x] + bwd[x] - 1
-		caps[x] = capBase / rt.Time(h)
+		caps[x] = capBase / rt.Time(h[x])
 		capSum += caps[x]
+	}
+	return caps, capSum
+}
+
+// assembleTask distributes WCET and requests over a fixed DAG structure
+// subject to the plausibility constraints. The construction is correct by
+// design:
+//
+//   - h[x] = the maximum number of vertices on any chain through x. Every
+//     vertex WCET is capped at (D/2 - margin)/h[x], so any complete path
+//     lambda satisfies L(lambda) <= sum (D/2 - margin)/h[x] < D/2 because
+//     h[x] >= |lambda| for every x on lambda.
+//   - Request units are only placed on vertices whose remaining cap can
+//     absorb the critical section, so C_{i,x} >= sum_q N_{i,x,q} L_{i,q}.
+//
+// Edges must go from lower to higher vertex index. Both the paper-grid
+// Generator and the adversarial generators build on this assembly.
+func assembleTask(r *rand.Rand, id rt.TaskID, period, deadline, wcet rt.Time,
+	nVerts int, edges []diEdge, draws []resourceDraw, nr int) (*model.Task, error) {
+
+	caps, capSum := vertexCaps(nVerts, edges, deadline)
+	if caps == nil {
+		return nil, fmt.Errorf("deadline %d too short for %d vertices", deadline, nVerts)
 	}
 	if capSum < wcet {
 		return nil, fmt.Errorf("vertex caps sum %d < WCET %d (chains too long)", capSum, wcet)
@@ -258,7 +286,7 @@ func (g *Generator) buildDAG(r *rand.Rand, id rt.TaskID, period, deadline, wcet 
 	}
 
 	// Waterfill the non-critical budget under the per-vertex caps.
-	alloc := g.waterfill(r, caps, csNeed, wcet-totalCS)
+	alloc := waterfill(r, caps, csNeed, wcet-totalCS)
 	if alloc == nil {
 		return nil, fmt.Errorf("waterfill failed: insufficient slack")
 	}
@@ -314,7 +342,7 @@ func pickWithRoom(r *rand.Rand, caps, csNeed []rt.Time, cs rt.Time) (int, bool) 
 // clamping each vertex at caps[x]-csNeed[x] and redistributing the excess
 // until the budget is exhausted. Returns nil if the total slack cannot
 // absorb the budget.
-func (g *Generator) waterfill(r *rand.Rand, caps, csNeed []rt.Time, budget rt.Time) []rt.Time {
+func waterfill(r *rand.Rand, caps, csNeed []rt.Time, budget rt.Time) []rt.Time {
 	n := len(caps)
 	alloc := make([]rt.Time, n)
 	slack := func(x int) rt.Time { return caps[x] - csNeed[x] - alloc[x] }

@@ -8,12 +8,11 @@ import (
 )
 
 func TestWaterfillRespectsCapsAndBudget(t *testing.T) {
-	g := NewGenerator(testScenario())
 	r := rand.New(rand.NewSource(1))
 	caps := []rt.Time{100, 50, 200, 10}
 	csNeed := []rt.Time{20, 0, 50, 10}
 	budget := rt.Time(200)
-	alloc := g.waterfill(r, caps, csNeed, budget)
+	alloc := waterfill(r, caps, csNeed, budget)
 	if alloc == nil {
 		t.Fatal("waterfill failed on feasible input")
 	}
@@ -33,14 +32,13 @@ func TestWaterfillRespectsCapsAndBudget(t *testing.T) {
 }
 
 func TestWaterfillRejectsInfeasible(t *testing.T) {
-	g := NewGenerator(testScenario())
 	r := rand.New(rand.NewSource(2))
 	caps := []rt.Time{10, 10}
 	csNeed := []rt.Time{5, 5}
-	if alloc := g.waterfill(r, caps, csNeed, 11); alloc != nil {
+	if alloc := waterfill(r, caps, csNeed, 11); alloc != nil {
 		t.Error("waterfill accepted budget beyond total slack")
 	}
-	if alloc := g.waterfill(r, caps, csNeed, 10); alloc == nil {
+	if alloc := waterfill(r, caps, csNeed, 10); alloc == nil {
 		t.Error("waterfill rejected exactly-fitting budget")
 	}
 }
