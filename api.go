@@ -9,6 +9,7 @@ import (
 	"dpcpp/internal/model"
 	"dpcpp/internal/partition"
 	"dpcpp/internal/rt"
+	"dpcpp/internal/server"
 	"dpcpp/internal/sim"
 	"dpcpp/internal/taskgen"
 )
@@ -241,3 +242,26 @@ func Audit(cfg AuditConfig) (*AuditReport, error) { return audit.Run(cfg) }
 func ReplayAuditFixture(cfg AuditConfig, path string) ([]AuditViolation, error) {
 	return audit.ReplayFixture(cfg, path)
 }
+
+// Schedulability-as-a-service (internal/server, cmd/schedd).
+type (
+	// TasksetHash is the canonical content address of a taskset
+	// (Taskset.Hash): a SHA-256 digest of its canonical serialization,
+	// stable across JSON round trips and insensitive to task order,
+	// names, duplicate edges and unused CS lengths.
+	TasksetHash = model.Hash
+	// ServerConfig tunes the analysis service.
+	ServerConfig = server.Config
+	// AnalysisServer is the http.Handler exposing the analysis service:
+	// POST /v1/analyze, POST /v1/analyze/batch, GET /v1/grid (NDJSON
+	// stream), GET /v1/metrics, GET /healthz.
+	AnalysisServer = server.Server
+	// ServerMetrics is the service's cache/coalescing/admission counters.
+	ServerMetrics = server.Metrics
+)
+
+// NewServer builds the analysis service: content-addressed result caching
+// keyed by TasksetHash, singleflight coalescing of concurrent identical
+// requests, and bounded admission over the shared worker pool. See
+// cmd/schedd for the daemon wrapping it.
+func NewServer(cfg ServerConfig) *AnalysisServer { return server.New(cfg) }

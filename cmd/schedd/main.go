@@ -1,0 +1,98 @@
+// Command schedd serves the schedulability engine over HTTP: a
+// long-running daemon around internal/server with content-addressed result
+// caching, request coalescing and bounded admission.
+//
+//	schedd -addr :8080 -workers 0 -cache-size 4096 -max-body 8388608
+//
+//	curl -s localhost:8080/v1/analyze -d @request.json
+//	curl -s 'localhost:8080/v1/grid?scenario=2a&n=25'
+//	curl -s localhost:8080/v1/metrics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// complete (bounded by -shutdown-timeout), new connections are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dpcpp/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is the testable entry point. When ready is non-nil it receives the
+// bound listener address once the server accepts connections (tests bind
+// -addr 127.0.0.1:0 and read the port from here).
+func run(args []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
+		cacheSize   = fs.Int("cache-size", server.DefaultCacheSize, "result cache capacity (entries)")
+		maxBody     = fs.Int64("max-body", server.DefaultMaxBody, "request body limit (bytes)")
+		maxQueue    = fs.Int("max-queue", 0, "admission queue bound in jobs (0 = max(1024*workers, 65536))")
+		shutTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		MaxBody:   *maxBody,
+		MaxQueue:  *maxQueue,
+	})
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "schedd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(stderr, err)
+		return 1
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(stderr, "schedd: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -20,7 +20,10 @@
 //     (package internal/experiments), and
 //   - a differential soundness audit fuzzing adversarial tasksets and
 //     cross-checking every analysis against the simulator
-//     (package internal/audit).
+//     (package internal/audit), and
+//   - a long-running analysis service exposing all of it over an HTTP
+//     JSON API with content-addressed result caching and request
+//     coalescing (package internal/server, daemon cmd/schedd).
 //
 // # Quick start
 //
@@ -73,4 +76,30 @@
 // (dispatch-time-only boosting, and semaphore acquisition from the ready
 // queue) as certified-taskset deadline misses; the shrunken counterexample
 // lives in internal/audit/testdata/lpp-dispatch-time-locking.json.
+//
+// # The analysis service
+//
+// Test(taskset, method) is a pure deterministic function, which makes the
+// engine ideal to serve: identical requests are identical work. The
+// service stack keeps a strict engine → pool → server layering.
+// internal/analysis stays the only source of verdicts;
+// experiments.ParallelFor stays the only scheduling primitive (batch
+// fan-out and streaming grid sweeps drain through it exactly like the CLI
+// grids and the audit); internal/server adds only service concerns on
+// top. Results are cached in a sharded LRU addressed by
+// model.Taskset.Hash — a SHA-256 over a canonical serialization (tasks
+// sorted by ID, per-vertex requests sorted by resource, edges sorted and
+// de-duplicated, unused CS lengths and names dropped) — joined with every
+// option that can change a verdict (method, path cap, placement,
+// explain). Two byte-different but semantically identical tasksets
+// therefore share cache entries, N concurrent identical misses coalesce
+// onto exactly one analysis (singleflight), and admission is bounded:
+// when the queue is transiently full a request is rejected with 429 +
+// Retry-After instead of queuing without bound (and one that could never
+// fit gets a non-retryable 400). The cache-hit path does
+// no analysis work at all, turning millisecond analyses into microsecond
+// lookups. cmd/schedd wraps the handler in a daemon with graceful
+// shutdown; the streamed GET /v1/grid endpoint derives every sample seed
+// through experiments.SampleSeed, so a streamed acceptance curve is
+// bit-identical to `schedtest -fig` with the same seed.
 package dpcpp

@@ -38,7 +38,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -90,9 +89,8 @@ func (c Config) normalized() Config {
 	if c.HyperPeriods <= 0 {
 		c.HyperPeriods = 3
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
+	// Workers is passed through as-is: experiments.ParallelFor normalizes
+	// <= 0 to GOMAXPROCS.
 	if c.Gen == nil {
 		c.Gen = taskgen.NewAdversarial()
 	}

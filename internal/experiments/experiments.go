@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"runtime"
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/model"
@@ -60,16 +59,22 @@ func (c *Curve) TotalAccepted(m analysis.Method) int {
 	return n
 }
 
-// seedFor derives the deterministic RNG seed of one sample.
-func seedFor(base int64, scenario string, point, sample int) int64 {
+// SampleSeed derives the deterministic RNG seed of one sample: a pure
+// function of (base seed, scenario name, utilization point, sample index).
+// Every consumer of the grid — runPool here, and the analysis server's
+// streaming /v1/grid endpoint — must derive seeds through it, so the same
+// sweep yields bit-identical tasksets regardless of which frontend ran it.
+func SampleSeed(base int64, scenario string, point, sample int) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%d|%d", base, scenario, point, sample)
 	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
-// generate draws a taskset for one sample, retrying a few times when the
-// structural constraints cannot be met for the drawn parameters.
-func generate(g *taskgen.Generator, seed int64, util float64) (*model.Taskset, error) {
+// GenerateSample draws the taskset of one sample, retrying with derived
+// seeds when the structural constraints cannot be met for the drawn
+// parameters. The retry discipline is part of the determinism contract:
+// callers that reimplement it would diverge from runPool on hard draws.
+func GenerateSample(g *taskgen.Generator, seed int64, util float64) (*model.Taskset, error) {
 	var lastErr error
 	for attempt := 0; attempt < 16; attempt++ {
 		r := rand.New(rand.NewSource(seed + int64(attempt)*7919))
@@ -95,12 +100,9 @@ func (c Campaign) normalized() Campaign {
 	return c
 }
 
-func (c Campaign) workers() int {
-	if c.Parallelism > 0 {
-		return c.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
+// workers passes the Parallelism knob through: the pool itself normalizes
+// <= 0 to GOMAXPROCS (see Workers).
+func (c Campaign) workers() int { return c.Parallelism }
 
 // newCurve allocates the empty acceptance-ratio curve of one campaign.
 func newCurve(c Campaign) *Curve {

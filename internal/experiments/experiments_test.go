@@ -203,12 +203,12 @@ func TestFormatCurveAndTables(t *testing.T) {
 }
 
 func TestSeedForIsStable(t *testing.T) {
-	a := seedFor(1, "scen", 2, 3)
-	b := seedFor(1, "scen", 2, 3)
+	a := SampleSeed(1, "scen", 2, 3)
+	b := SampleSeed(1, "scen", 2, 3)
 	if a != b {
 		t.Error("seedFor not deterministic")
 	}
-	if seedFor(1, "scen", 2, 4) == a || seedFor(2, "scen", 2, 3) == a {
+	if SampleSeed(1, "scen", 2, 4) == a || SampleSeed(2, "scen", 2, 3) == a {
 		t.Error("seedFor collisions across inputs")
 	}
 }

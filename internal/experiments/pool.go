@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,25 +10,36 @@ import (
 	"dpcpp/internal/taskgen"
 )
 
+// Workers normalizes a requested worker count: any value <= 0 means "one
+// worker per logical CPU" (GOMAXPROCS). Every pool entry point applies it,
+// so callers pass their configuration knob through untouched instead of
+// each re-implementing the default.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
 // ParallelFor runs fn(worker, i) for every i in [0, n) on up to workers
-// goroutines, handing indices out through one shared atomic counter so the
-// pool is work-conserving: no worker idles while indices remain. The worker
-// argument (in [0, workers)) lets callers keep cheap worker-local state
-// (caches, RNGs) without locking. ParallelFor returns when every index has
-// been processed; fn must do its own synchronization on shared state.
+// goroutines (<= 0 means GOMAXPROCS, per Workers), handing indices out
+// through one shared atomic counter so the pool is work-conserving: no
+// worker idles while indices remain. The worker argument (in [0, workers))
+// lets callers keep cheap worker-local state (caches, RNGs) without
+// locking. ParallelFor returns when every index has been processed; fn
+// must do its own synchronization on shared state.
 //
-// This is the one scheduling primitive behind both the experiment grids
-// (runPool) and the differential audit (internal/audit): every heavy sweep
-// in the repository drains through it.
+// This is the one scheduling primitive behind the experiment grids
+// (runPool), the differential audit (internal/audit) and the analysis
+// server (internal/server): every heavy sweep in the repository drains
+// through it.
 func ParallelFor(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
+	workers = Workers(workers)
 	if workers > n {
 		workers = n
-	}
-	if workers < 1 {
-		workers = 1
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -101,11 +113,9 @@ func runPool(camps []Campaign, workers int, onCurve func(int, *Curve)) ([]*Curve
 	if totalJobs == 0 {
 		return curves, nil
 	}
+	workers = Workers(workers)
 	if workers > totalJobs {
 		workers = totalJobs
-	}
-	if workers < 1 {
-		workers = 1
 	}
 
 	var mu sync.Mutex // guards curve points and firstErr
@@ -141,8 +151,8 @@ func runPool(camps []Campaign, workers int, onCurve func(int, *Curve)) ([]*Curve
 func runJob(c *Campaign, g *taskgen.Generator, curve *Curve, jb gridJob,
 	mu *sync.Mutex, firstErr **jobError) {
 
-	seed := seedFor(c.Seed, c.Scenario.Name(), jb.point, jb.sample)
-	ts, err := generate(g, seed, curve.Points[jb.point].Utilization)
+	seed := SampleSeed(c.Seed, c.Scenario.Name(), jb.point, jb.sample)
+	ts, err := GenerateSample(g, seed, curve.Points[jb.point].Utilization)
 	if err != nil {
 		mu.Lock()
 		if *firstErr == nil || jb.less(gridJob{(*firstErr).scen, (*firstErr).point, (*firstErr).sample}) {

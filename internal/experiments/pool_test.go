@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -12,14 +13,11 @@ import (
 // TestParallelFor: every index is processed exactly once, worker IDs stay
 // in range, and degenerate worker/index counts are handled.
 func TestParallelFor(t *testing.T) {
-	for _, workers := range []int{0, 1, 3, 64} {
+	for _, workers := range []int{-4, 0, 1, 3, 64} {
 		for _, n := range []int{0, 1, 7, 100} {
-			eff := workers // the clamped worker count ParallelFor promises
+			eff := Workers(workers) // the normalized count ParallelFor promises
 			if eff > n {
 				eff = n
-			}
-			if eff < 1 {
-				eff = 1
 			}
 			hits := make([]atomic.Int64, n)
 			ParallelFor(workers, n, func(w, i int) {
@@ -33,6 +31,45 @@ func TestParallelFor(t *testing.T) {
 					t.Fatalf("workers=%d n=%d: index %d processed %d times", workers, n, i, got)
 				}
 			}
+		}
+	}
+}
+
+// TestWorkersNormalization: the pool owns the "<= 0 means GOMAXPROCS"
+// default, so no caller (server, audit, grid) re-normalizes. Regression
+// test for the former behavior where ParallelFor clamped 0 to a single
+// worker and every caller had to pre-substitute GOMAXPROCS itself.
+func TestWorkersNormalization(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	for _, req := range []int{0, -1, -100} {
+		if got := Workers(req); got != gmp {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS = %d", req, got, gmp)
+		}
+	}
+	for _, req := range []int{1, 2, 17} {
+		if got := Workers(req); got != req {
+			t.Errorf("Workers(%d) = %d, want it unchanged", req, got)
+		}
+	}
+	if gmp < 2 {
+		t.Skip("GOMAXPROCS == 1: cannot observe multi-worker fan-out")
+	}
+	// ParallelFor(0, ...) must actually fan out to GOMAXPROCS workers, not
+	// serialize on one: with enough blocking indices, every worker ID in
+	// [0, GOMAXPROCS) shows up.
+	var seen sync.Map
+	barrier := make(chan struct{})
+	var arrived atomic.Int64
+	ParallelFor(0, gmp, func(w, i int) {
+		seen.Store(w, true)
+		if arrived.Add(1) == int64(gmp) {
+			close(barrier) // last worker in releases everyone
+		}
+		<-barrier
+	})
+	for w := 0; w < gmp; w++ {
+		if _, ok := seen.Load(w); !ok {
+			t.Fatalf("worker %d never ran: ParallelFor(0, ...) did not use GOMAXPROCS workers", w)
 		}
 	}
 }

@@ -45,6 +45,12 @@ func FuzzTasksetJSON(f *testing.F) {
 			t.Fatalf("round trip not bit-stable:\nfirst:  %s\nsecond: %s",
 				first.String(), second.String())
 		}
+		// The content address must survive the round trip bit-exactly:
+		// the server's result cache keys on it.
+		if ts.Hash() != ts2.Hash() {
+			t.Fatalf("hash not stable across round trip:\nbefore: %s (%s)\nafter:  %s (%s)",
+				ts.Hash(), ts.AppendCanonical(nil), ts2.Hash(), ts2.AppendCanonical(nil))
+		}
 		if len(ts2.Tasks) != len(ts.Tasks) {
 			t.Fatalf("task count changed: %d -> %d", len(ts.Tasks), len(ts2.Tasks))
 		}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+
+	"dpcpp/internal/rt"
+)
+
+// Hash is the content address of a finalized taskset: a SHA-256 digest of
+// its canonical serialization. Two tasksets share a Hash exactly when every
+// analysis in the repository treats them identically, so the hash is a safe
+// cache key for schedulability results.
+type Hash [sha256.Size]byte
+
+// String returns the lowercase-hex form used in cache keys and API
+// responses.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Hash returns the taskset's content address. The taskset must be
+// finalized: canonicalization depends on assigned priorities and the
+// derived request profile.
+//
+// The invariant the fuzzer pins (FuzzTasksetJSON): for any valid taskset,
+// DecodeTaskset(EncodeTaskset(ts)).Hash() == ts.Hash().
+func (ts *Taskset) Hash() Hash {
+	return sha256.Sum256(ts.AppendCanonical(nil))
+}
+
+// AppendCanonical appends the canonical serialization of the taskset to b
+// and returns the extended slice. The form is deterministic and normalized:
+//
+//   - tasks are ordered by ID (their slice order is irrelevant),
+//   - vertices appear in index order (Finalize guarantees ID == index),
+//   - per-vertex requests are sorted by resource ID with zero counts
+//     dropped,
+//   - edges are sorted by (from, to) and de-duplicated (a repeated edge is
+//     the same precedence constraint),
+//   - critical-section lengths appear only for resources the task actually
+//     requests (an L_{i,q} with N_{i,q} = 0 never reaches any analysis or
+//     the simulator), and
+//   - the Name field is omitted (it is documentation, not semantics).
+//
+// Everything an analysis can observe — processor and resource counts,
+// periods, deadlines, priorities, DAG structure, WCETs, request profiles
+// and CS lengths — is included, so distinct hashes imply potentially
+// distinct verdicts and equal hashes imply equal verdicts.
+func (ts *Taskset) AppendCanonical(b []byte) []byte {
+	ts.mustFinal()
+	b = append(b, "ts/v1|m="...)
+	b = strconv.AppendInt(b, int64(ts.NumProcs), 10)
+	b = append(b, "|nr="...)
+	b = strconv.AppendInt(b, int64(ts.NumResources), 10)
+	b = append(b, '\n')
+
+	order := append([]*Task(nil), ts.Tasks...)
+	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	for _, t := range order {
+		b = t.appendCanonical(b)
+	}
+	return b
+}
+
+func (t *Task) appendCanonical(b []byte) []byte {
+	b = append(b, "task|"...)
+	b = strconv.AppendInt(b, int64(t.ID), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, t.Period, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, t.Deadline, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(t.Priority), 10)
+	b = append(b, '\n')
+
+	for _, v := range t.Vertices {
+		b = append(b, 'v')
+		b = append(b, '|')
+		b = strconv.AppendInt(b, v.WCET, 10)
+		qs := make([]int, 0, len(v.Requests))
+		for q, c := range v.Requests {
+			if c > 0 {
+				qs = append(qs, int(q))
+			}
+		}
+		sort.Ints(qs)
+		for _, q := range qs {
+			b = append(b, '|')
+			b = strconv.AppendInt(b, int64(q), 10)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, int64(v.Requests[rt.ResourceID(q)]), 10)
+		}
+		b = append(b, '\n')
+	}
+
+	edges := append([]Edge(nil), t.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	var prev Edge
+	for i, e := range edges {
+		if i > 0 && e == prev {
+			continue
+		}
+		prev = e
+		b = append(b, 'e')
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(e.From), 10)
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(e.To), 10)
+		b = append(b, '\n')
+	}
+
+	for q, n := range t.nReq {
+		if n > 0 {
+			b = append(b, "cs|"...)
+			b = strconv.AppendInt(b, int64(q), 10)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, t.CSLen[q], 10)
+			b = append(b, '\n')
+		}
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards splits the result cache so concurrent requests on different
+// tasksets never contend on one mutex. Keys start with a SHA-256 hex
+// digest, so any cheap hash distributes them evenly.
+const numShards = 16
+
+// lru is a sharded LRU cache. Two instances exist per server: the engine's
+// result cache (keyed by taskset hash + method + options fingerprint,
+// holding wire results) and the exact-body fast path (keyed by the SHA-256
+// of raw /v1/analyze bodies, holding serialized responses), so a repeat of
+// a byte-identical request skips even the JSON decode.
+type lru[V any] struct {
+	shards [numShards]lruShard[V]
+	len    atomic.Int64
+}
+
+type lruShard[V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// newLRU builds a cache holding at most size entries in total, split
+// evenly across shards (each shard holds at least one entry).
+func newLRU[V any](size int) *lru[V] {
+	perShard := (size + numShards - 1) / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &lru[V]{}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].m = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *lru[V]) shard(key string) *lruShard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%numShards]
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *lru[V]) get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// add inserts or refreshes the entry, evicting the least recently used
+// entry of the shard when over capacity.
+func (c *lru[V]) add(key string, val V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	c.len.Add(1)
+	if s.ll.Len() > s.cap {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		delete(s.m, old.Value.(*lruEntry[V]).key)
+		c.len.Add(-1)
+	}
+}
+
+// entries returns the current number of cached values across all shards.
+func (c *lru[V]) entries() int64 { return c.len.Load() }

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	// One entry per shard: inserting two keys in the same shard evicts the
+	// older one, and a get refreshes recency.
+	c := newLRU[*MethodResult](numShards)
+	var keys []string
+	shard := c.shard("anchor")
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shard(k) == shard {
+			keys = append(keys, k)
+		}
+	}
+	a, b, d := keys[0], keys[1], keys[2]
+
+	c.add(a, &MethodResult{Rounds: 1})
+	if v, ok := c.get(a); !ok || v.Rounds != 1 {
+		t.Fatal("missing entry just added")
+	}
+	c.add(b, &MethodResult{Rounds: 2}) // evicts a (shard capacity 1)
+	if _, ok := c.get(a); ok {
+		t.Fatal("LRU did not evict the oldest entry")
+	}
+	if _, ok := c.get(b); !ok {
+		t.Fatal("newest entry evicted instead")
+	}
+	c.add(b, &MethodResult{Rounds: 3}) // refresh, no growth
+	if v, _ := c.get(b); v == nil || v.Rounds != 3 {
+		t.Fatal("re-add did not replace the value")
+	}
+	c.add(d, &MethodResult{Rounds: 4})
+	if _, ok := c.get(b); ok {
+		t.Fatal("eviction after refresh removed the wrong entry")
+	}
+	if got := c.entries(); got != 1 {
+		t.Fatalf("entries() = %d, want 1", got)
+	}
+}
+
+func TestResultCacheCapacityFloor(t *testing.T) {
+	c := newLRU[*MethodResult](1) // must still hold at least one entry per shard
+	c.add("x", &MethodResult{})
+	if _, ok := c.get("x"); !ok {
+		t.Fatal("tiny cache cannot hold a single entry")
+	}
+}
+
+func TestFlightGroupSequential(t *testing.T) {
+	var g flightGroup
+	calls := 0
+	v1, shared := g.do("k", func() *MethodResult { calls++; return &MethodResult{Rounds: 7} })
+	if shared || v1.Rounds != 7 || calls != 1 {
+		t.Fatalf("first do: shared=%v calls=%d", shared, calls)
+	}
+	// After completion the key is released: a later call runs again.
+	_, shared = g.do("k", func() *MethodResult { calls++; return &MethodResult{} })
+	if shared || calls != 2 {
+		t.Fatalf("second do: shared=%v calls=%d, want a fresh execution", shared, calls)
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	const n = 8
+	started := make(chan struct{})
+	release := make(chan struct{})
+	calls := 0
+	leaderFn := func() *MethodResult {
+		close(started)
+		calls++
+		<-release
+		return &MethodResult{Rounds: 42}
+	}
+
+	var wg sync.WaitGroup
+	sharedCount := 0
+	var mu sync.Mutex
+	run := func(fn func() *MethodResult) {
+		defer wg.Done()
+		v, shared := g.do("k", fn)
+		if v.Rounds != 42 {
+			t.Errorf("wrong value %+v", v)
+		}
+		mu.Lock()
+		if shared {
+			sharedCount++
+		}
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go run(leaderFn)
+	<-started // leader registered and executing
+	for i := 0; i < n-1; i++ {
+		wg.Add(1)
+		go run(func() *MethodResult {
+			t.Error("follower fn executed: coalescing failed")
+			return &MethodResult{Rounds: 42}
+		})
+	}
+	// Release only once every follower has joined the in-flight call, so
+	// none can arrive late and start a second execution.
+	deadline := time.Now().Add(10 * time.Second)
+	for g.waiting("k") < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers coalesced", g.waiting("k"), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if sharedCount != n-1 {
+		t.Fatalf("%d callers saw shared=true, want %d", sharedCount, n-1)
+	}
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/experiments"
+	"dpcpp/internal/model"
+	"dpcpp/internal/partition"
+)
+
+// engine is the cache-aware analysis core under every handler. The layering
+// is strict: handlers decode and validate, the engine decides whether work
+// is needed (cache), who does it (singleflight coalescing) and when
+// (admission queue + worker slots), and the analysis itself stays inside
+// internal/analysis untouched.
+//
+// Cache-key semantics: a result is addressed by
+//
+//	<taskset sha256>|<method>|pc=<path cap>|pl=<placement>|ex=<explain>
+//
+// — the taskset's canonical content hash (model.Taskset.Hash) plus every
+// option that can change the result. Two requests with byte-different but
+// semantically identical tasksets (reordered tasks, renamed tasks,
+// duplicate edges) therefore share cache entries and coalesce onto one
+// in-flight analysis.
+type engine struct {
+	workers  int
+	maxQueue int64
+	cache    *lru[*MethodResult]
+	flight   flightGroup
+	// slots bounds concurrently executing analyses to the worker count;
+	// queued counts admitted-but-unfinished jobs for backpressure.
+	slots  chan struct{}
+	queued atomic.Int64
+
+	// testFn runs one analysis; tests swap it for counting/blocking hooks.
+	testFn func(m analysis.Method, ts *model.Taskset, opts analysis.Options) partition.Result
+
+	// Counters behind GET /v1/metrics.
+	requests    atomic.Int64
+	analyses    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64
+	rejected    atomic.Int64
+}
+
+// Metrics is the JSON body of GET /v1/metrics: monotonic counters plus
+// point-in-time gauges.
+type Metrics struct {
+	Requests     int64 `json:"requests"`
+	Analyses     int64 `json:"analyses"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Rejected     int64 `json:"rejected"`
+	QueuedJobs   int64 `json:"queued_jobs"`
+	CacheEntries int64 `json:"cache_entries"`
+	Workers      int   `json:"workers"`
+}
+
+func newEngine(workers, cacheSize int, maxQueue int64) *engine {
+	workers = experiments.Workers(workers)
+	return &engine{
+		workers:  workers,
+		maxQueue: maxQueue,
+		cache:    newLRU[*MethodResult](cacheSize),
+		slots:    make(chan struct{}, workers),
+		testFn:   analysis.Test,
+	}
+}
+
+// tryAdmit reserves n analysis jobs against the queue bound. A false
+// return means the server is saturated and the request must be rejected
+// (429) rather than queued without bound.
+func (e *engine) tryAdmit(n int) bool {
+	if e.queued.Add(int64(n)) > e.maxQueue {
+		e.queued.Add(int64(-n))
+		e.rejected.Add(1)
+		return false
+	}
+	return true
+}
+
+// release returns n admitted jobs to the queue bound.
+func (e *engine) release(n int) { e.queued.Add(int64(-n)) }
+
+// cacheKey builds the content address of one (taskset, method, options)
+// result. PathCap is normalized first so 0 and the explicit default hit
+// the same entry.
+func cacheKey(h model.Hash, m analysis.Method, opts analysis.Options, explain bool) string {
+	pc := opts.PathCap
+	if pc <= 0 {
+		pc = analysis.DefaultPathCap
+	}
+	key := h.String() + "|" + string(m) + "|pc=" + strconv.Itoa(pc) +
+		"|pl=" + strconv.Itoa(int(opts.Placement))
+	if explain {
+		key += "|ex=1"
+	}
+	return key
+}
+
+// analyze returns the method's result for the hashed taskset, from cache
+// when possible. On a miss, concurrent identical requests coalesce onto
+// one analysis (singleflight) which runs on a bounded worker slot; the
+// result is cached before any waiter wakes. The cache-hit path performs no
+// analysis work and acquires no slot.
+func (e *engine) analyze(h model.Hash, ts *model.Taskset, m analysis.Method,
+	opts analysis.Options, explain bool) *MethodResult {
+
+	// Only DPCP-p-EP ever carries a breakdown, so the explain flag must
+	// not fork the cache key (or re-run the analysis) of any other method.
+	explain = explain && m == analysis.DPCPpEP
+	key := cacheKey(h, m, opts, explain)
+	if v, ok := e.cache.get(key); ok {
+		e.cacheHits.Add(1)
+		return v
+	}
+	e.cacheMisses.Add(1)
+	v, shared := e.flight.do(key, func() *MethodResult {
+		// A racing flight may have completed — and cached — between this
+		// caller's cache miss and registering the flight; re-check before
+		// paying for a worker slot, so duplicate analyses are impossible,
+		// not merely unlikely.
+		if v, ok := e.cache.get(key); ok {
+			return v
+		}
+		e.slots <- struct{}{}
+		defer func() { <-e.slots }()
+		e.analyses.Add(1)
+		res := e.testFn(m, ts, opts)
+		mr := &MethodResult{
+			Schedulable: res.Schedulable,
+			WCRT:        res.WCRT,
+			Rounds:      res.Rounds,
+			Reason:      res.Reason,
+		}
+		if explain && res.Partition != nil {
+			pc := opts.PathCap
+			if pc <= 0 {
+				pc = analysis.DefaultPathCap
+			}
+			mr.Explain = analysis.NewDPCPp(ts, pc, false).Explain(res.Partition)
+		}
+		e.cache.add(key, mr)
+		return mr
+	})
+	if shared {
+		e.coalesced.Add(1)
+	}
+	return v
+}
+
+// cachedAll returns every requested method's result when all of them are
+// already cached (counting one hit per method), or nil on any miss without
+// touching the counters. It lets handlers serve fully-cached requests
+// without charging admission: a saturated queue must never 429 a request
+// that needs zero analysis work.
+func (e *engine) cachedAll(h model.Hash, ms []analysis.Method,
+	opts analysis.Options, explain bool) map[string]*MethodResult {
+
+	out := make(map[string]*MethodResult, len(ms))
+	for _, m := range ms {
+		v, ok := e.cache.get(cacheKey(h, m, opts, explain && m == analysis.DPCPpEP))
+		if !ok {
+			return nil
+		}
+		out[string(m)] = v
+	}
+	e.cacheHits.Add(int64(len(ms)))
+	return out
+}
+
+// snapshot captures the current metrics.
+func (e *engine) snapshot() Metrics {
+	return Metrics{
+		Requests:     e.requests.Load(),
+		Analyses:     e.analyses.Load(),
+		CacheHits:    e.cacheHits.Load(),
+		CacheMisses:  e.cacheMisses.Load(),
+		Coalesced:    e.coalesced.Load(),
+		Rejected:     e.rejected.Load(),
+		QueuedJobs:   e.queued.Load(),
+		CacheEntries: e.cache.entries(),
+		Workers:      e.workers,
+	}
+}

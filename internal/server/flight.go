@@ -1,0 +1,62 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent duplicate work: all callers that ask
+// for the same key while one computation is in flight block on that one
+// computation and share its result. Combined with the content-addressed
+// cache key, N concurrent identical analyze requests cost exactly one
+// analysis — the acceptance invariant the coalescing test pins.
+//
+// This is a minimal singleflight (the x/sync dependency is deliberately
+// avoided): no panic forwarding — fn must not panic, which engine.Analyze
+// guarantees by validating tasksets before any flight starts.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *MethodResult
+	// waiters counts callers coalesced onto this execution (guarded by
+	// the group mutex); tests use it to prove all N callers overlapped.
+	waiters int
+}
+
+// do returns fn()'s result for key, executing fn at most once across all
+// concurrent callers with that key. shared reports whether this caller
+// received a result computed by another goroutine's call.
+func (g *flightGroup) do(key string, fn func() *MethodResult) (val *MethodResult, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false
+}
+
+// waiting reports how many callers are coalesced onto the key's in-flight
+// execution (0 when none is in flight).
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"dpcpp/internal/experiments"
+	"dpcpp/internal/taskgen"
+)
+
+// maxGridSamples caps the per-point sample count a single request may ask
+// for; larger sweeps belong in batches of requests (and would be rejected
+// by admission anyway on most configurations).
+const maxGridSamples = 10000
+
+// handleGrid streams one scenario's acceptance curve as NDJSON: one
+// GridPoint line the moment the pool completes each utilization point
+// (completion order, not point order — lines carry their point index), and
+// a trailing GridDone line. Seeding is identical to the CLI sweeps
+// (experiments.SampleSeed), so a streamed curve matches `schedtest -fig`
+// bit-for-bit for the same seed and sample count.
+//
+// Query parameters:
+//
+//	scenario  required: a Fig. 2 subplot ("2a".."2d") or "g<i>" for
+//	          index i of the 216-scenario grid
+//	n         samples per utilization point (default 25)
+//	seed      base seed (default 2020)
+//	methods   comma-separated method subset (default all)
+//	pathcap   EP path enumeration cap (default: analysis default)
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	scen, err := parseScenario(q.Get("scenario"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, err := intParam(q.Get("n"), 25)
+	if err != nil || n < 1 || n > maxGridSamples {
+		writeError(w, http.StatusBadRequest, "invalid n %q (1..%d)", q.Get("n"), maxGridSamples)
+		return
+	}
+	seed, err := int64Param(q.Get("seed"), 2020)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid seed %q", q.Get("seed"))
+		return
+	}
+	pathCap, err := intParam(q.Get("pathcap"), 0)
+	if err != nil || pathCap < 0 {
+		writeError(w, http.StatusBadRequest, "invalid pathcap %q", q.Get("pathcap"))
+		return
+	}
+	var methodNames []string
+	if mq := q.Get("methods"); mq != "" {
+		methodNames = strings.Split(mq, ",")
+	}
+	ms, opts, ok := s.validateOptions(w, methodNames, pathCap, "")
+	if !ok {
+		return
+	}
+
+	scen = scen.DefaultStructure()
+	points := taskgen.UtilizationPoints(scen.M)
+	jobs := len(points) * n
+	if !s.admit(w, jobs) {
+		return
+	}
+	defer s.engine.release(jobs)
+
+	// Per-point completion tracking: workers fold verdicts into atomic
+	// counters and hand the point index to the streaming goroutine when
+	// its last sample lands.
+	type pointState struct {
+		accepted []atomic.Int64 // indexed like ms
+		genFail  atomic.Int64
+		total    atomic.Int64
+		left     atomic.Int64
+	}
+	states := make([]pointState, len(points))
+	for pi := range states {
+		states[pi].accepted = make([]atomic.Int64, len(ms))
+		states[pi].left.Store(int64(n))
+	}
+	done := make(chan int, len(points))
+	ctx := r.Context()
+
+	go func() {
+		defer close(done)
+		workers := s.cfg.Workers
+		gens := make([]*taskgen.Generator, workers)
+		experiments.ParallelFor(workers, jobs, func(worker, idx int) {
+			pi, si := idx/n, idx%n
+			st := &states[pi]
+			// A canceled stream stops paying for analyses but still
+			// drains indices so admission accounting stays exact.
+			if ctx.Err() == nil {
+				g := gens[worker]
+				if g == nil {
+					g = taskgen.NewGenerator(scen)
+					gens[worker] = g
+				}
+				sampleSeed := experiments.SampleSeed(seed, scen.Name(), pi, si)
+				ts, err := experiments.GenerateSample(g, sampleSeed, points[pi])
+				if err != nil {
+					st.genFail.Add(1)
+				} else {
+					h := ts.Hash()
+					for mi, m := range ms {
+						if s.engine.analyze(h, ts, m, opts, false).Schedulable {
+							st.accepted[mi].Add(1)
+						}
+					}
+					st.total.Add(1)
+				}
+			}
+			if st.left.Add(-1) == 0 {
+				done <- pi
+			}
+		})
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Scenario", scen.Name())
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	streamed := 0
+	for pi := range done {
+		st := &states[pi]
+		gp := GridPoint{
+			Point:       pi,
+			Utilization: points[pi],
+			Normalized:  points[pi] / float64(scen.M),
+			Total:       int(st.total.Load()),
+			GenFailures: int(st.genFail.Load()),
+			Accepted:    make(map[string]int, len(ms)),
+		}
+		for mi, m := range ms {
+			gp.Accepted[string(m)] = int(st.accepted[mi].Load())
+		}
+		enc.Encode(gp)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		streamed++
+	}
+	if ctx.Err() == nil {
+		enc.Encode(GridDone{Done: true, Points: streamed})
+	}
+}
+
+// parseScenario resolves the scenario query parameter: a Fig. 2 subplot
+// name or g<i> for the full grid.
+func parseScenario(name string) (taskgen.Scenario, error) {
+	switch {
+	case name == "":
+		return taskgen.Scenario{}, fmt.Errorf("missing scenario parameter")
+	case strings.HasPrefix(name, "g"):
+		i, err := strconv.Atoi(name[1:])
+		grid := taskgen.Grid()
+		if err != nil || i < 0 || i >= len(grid) {
+			return taskgen.Scenario{}, fmt.Errorf("invalid grid scenario %q (g0..g%d)", name, len(grid)-1)
+		}
+		return grid[i], nil
+	default:
+		return taskgen.Fig2Scenario(name)
+	}
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func int64Param(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

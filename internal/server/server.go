@@ -1,0 +1,369 @@
+// Package server turns the schedulability engine into a long-running
+// service: an HTTP JSON API over the same pure Test(taskset, method)
+// function the library and CLI expose.
+//
+// # Architecture
+//
+// The layering is engine → pool → server:
+//
+//   - internal/analysis remains the single source of verdicts; the server
+//     never reimplements any analysis.
+//   - internal/experiments.ParallelFor is the only scheduling primitive:
+//     batch fan-out and grid sweeps drain through it, exactly like the
+//     CLI's grids and the audit.
+//   - This package adds the service concerns on top: canonical
+//     content-addressed caching (model.Taskset.Hash), request coalescing
+//     (singleflight), bounded admission with backpressure (429 when the
+//     job queue is full), structured 4xx errors for hostile input, and
+//     metrics.
+//
+// Because Test is a pure deterministic function of the canonical taskset,
+// identical requests — byte-identical or merely semantically identical —
+// are served from the sharded LRU result cache, and N concurrent identical
+// misses cost exactly one analysis.
+//
+// # Endpoints
+//
+//	POST /v1/analyze        one taskset, one or all methods
+//	POST /v1/analyze/batch  many tasksets, shared options
+//	GET  /v1/grid           streaming acceptance-curve points (NDJSON)
+//	GET  /v1/metrics        cache/coalescing/admission counters
+//	GET  /healthz           liveness
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/experiments"
+	"dpcpp/internal/model"
+)
+
+// Defaults applied by Config.normalized.
+const (
+	DefaultCacheSize = 4096
+	DefaultMaxBody   = 8 << 20 // 8 MiB of taskset JSON
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrently executing analyses (<= 0 = GOMAXPROCS).
+	Workers int
+	// CacheSize is the result cache capacity in entries (<= 0 = 4096).
+	CacheSize int
+	// MaxBody caps request bodies in bytes (<= 0 = 8 MiB); larger bodies
+	// get 413 before any decoding work.
+	MaxBody int64
+	// MaxQueue bounds admitted-but-unfinished analysis jobs. A request
+	// whose jobs cannot fit while the server is busy gets 429 +
+	// Retry-After; one that could never fit even on an idle server gets a
+	// non-retryable 400 (<= 0 = max(1024 * workers, 65536), large enough
+	// that every documented grid/batch request fits on a 1-core host).
+	MaxQueue int
+}
+
+func (c Config) normalized() Config {
+	c.Workers = experiments.Workers(c.Workers)
+	if c.CacheSize <= 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = DefaultMaxBody
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024 * c.Workers
+		if c.MaxQueue < 65536 {
+			c.MaxQueue = 65536
+		}
+	}
+	return c
+}
+
+// Server is the http.Handler exposing the analysis service.
+type Server struct {
+	cfg    Config
+	engine *engine
+	mux    *http.ServeMux
+	// fast serves byte-identical repeats of /v1/analyze bodies without
+	// decoding, validating or hashing the taskset again: the stored
+	// response keyed by the SHA-256 of the raw body. Real fleets re-submit
+	// literally identical requests, and the response is a pure function of
+	// the body, so this is safe and turns the hit path into a hash plus a
+	// write.
+	fast *lru[[]byte]
+}
+
+// New builds a Server. It is ready to serve immediately; wire it into an
+// http.Server for listening and graceful shutdown (see cmd/schedd).
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		cfg:    cfg,
+		engine: newEngine(cfg.Workers, cfg.CacheSize, int64(cfg.MaxQueue)),
+		mux:    http.NewServeMux(),
+		fast:   newLRU[[]byte](cfg.CacheSize),
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.engine.requests.Add(1)
+	if r.Body != nil {
+		// The body cap is the first hardening layer: nothing past it ever
+		// reaches the JSON decoder, and oversized bodies fail with a
+		// structured 413 instead of feeding the model layer unbounded
+		// input.
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Server) Metrics() Metrics { return s.engine.snapshot() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.snapshot())
+}
+
+// decodeBody decodes one JSON document into dst with the request-boundary
+// hardening: the MaxBytesReader cap (413), unknown-field rejection and a
+// single-document requirement (400). The taskset itself is then validated
+// by model.Finalize, which PR 2 hardened against hostile documents — no
+// panic path is reachable from a request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return err
+		}
+		writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return err
+	}
+	if dec.More() {
+		err := fmt.Errorf("trailing data after JSON document")
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return err
+	}
+	return nil
+}
+
+// decodeBytes is decodeBody for a pre-read body (the /v1/analyze fast
+// path reads the body up front to key the exact-body cache).
+func decodeBytes(w http.ResponseWriter, body []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return err
+	}
+	if dec.More() {
+		err := fmt.Errorf("trailing data after JSON document")
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return err
+	}
+	return nil
+}
+
+// finalizeTaskset validates a decoded taskset, translating model's
+// rejection into a structured 400 with the taskset's batch position.
+func finalizeTaskset(w http.ResponseWriter, ts *model.Taskset, pos string) bool {
+	if ts == nil {
+		writeError(w, http.StatusBadRequest, "missing taskset%s", pos)
+		return false
+	}
+	if err := ts.Finalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid taskset%s: %v", pos, err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		}
+		return
+	}
+	bodyKey := sha256.Sum256(body)
+	if resp, ok := s.fast.get(string(bodyKey[:])); ok {
+		s.engine.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(resp)
+		return
+	}
+
+	var req AnalyzeRequest
+	if decodeBytes(w, body, &req) != nil {
+		return
+	}
+	ms, opts, ok := s.validateOptions(w, req.Methods, req.PathCap, req.Placement)
+	if !ok || !finalizeTaskset(w, req.Taskset, "") {
+		return
+	}
+	h := req.Taskset.Hash()
+	resp := &AnalyzeResponse{Hash: h.String()}
+	// A fully-cached request needs zero analysis work, so it is served
+	// even when the admission queue is saturated.
+	if resp.Results = s.engine.cachedAll(h, ms, opts, req.Explain); resp.Results == nil {
+		if !s.admit(w, len(ms)) {
+			return
+		}
+		defer s.engine.release(len(ms))
+		resp = s.analyzeOne(h, req.Taskset, ms, opts, req.Explain)
+	}
+
+	out, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	out = append(out, '\n') // match json.Encoder framing everywhere else
+	s.fast.add(string(bodyKey[:]), out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if decodeBody(w, r, &req) != nil {
+		return
+	}
+	ms, opts, ok := s.validateOptions(w, req.Methods, req.PathCap, req.Placement)
+	if !ok {
+		return
+	}
+	if len(req.Tasksets) == 0 {
+		writeError(w, http.StatusBadRequest, "empty tasksets")
+		return
+	}
+	for i, ts := range req.Tasksets {
+		if !finalizeTaskset(w, ts, fmt.Sprintf(" at index %d", i)) {
+			return
+		}
+	}
+	jobs := len(req.Tasksets) * len(ms)
+	if !s.admit(w, jobs) {
+		return
+	}
+	defer s.engine.release(jobs)
+
+	// Hash on the request goroutine (cheap), fan the analyses out over the
+	// shared pool primitive. Results land in per-index slots, so no
+	// locking and a deterministic response order.
+	resp := BatchResponse{Results: make([]*AnalyzeResponse, len(req.Tasksets))}
+	hashes := make([]model.Hash, len(req.Tasksets))
+	for i, ts := range req.Tasksets {
+		hashes[i] = ts.Hash()
+		resp.Results[i] = &AnalyzeResponse{
+			Hash:    hashes[i].String(),
+			Results: make(map[string]*MethodResult, len(ms)),
+		}
+	}
+	var mu sync.Mutex // guards the per-taskset result maps
+	experiments.ParallelFor(s.cfg.Workers, jobs, func(_, idx int) {
+		ti, mi := idx/len(ms), idx%len(ms)
+		mr := s.engine.analyze(hashes[ti], req.Tasksets[ti], ms[mi], opts, false)
+		mu.Lock()
+		resp.Results[ti].Results[string(ms[mi])] = mr
+		mu.Unlock()
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// analyzeOne runs the methods for one finalized, hashed taskset, fanning
+// out over the pool when more than one method was requested.
+func (s *Server) analyzeOne(h model.Hash, ts *model.Taskset, ms []analysis.Method,
+	opts analysis.Options, explain bool) *AnalyzeResponse {
+
+	resp := &AnalyzeResponse{
+		Hash:    h.String(),
+		Results: make(map[string]*MethodResult, len(ms)),
+	}
+	results := make([]*MethodResult, len(ms))
+	experiments.ParallelFor(len(ms), len(ms), func(_, i int) {
+		results[i] = s.engine.analyze(h, ts, ms[i], opts, explain)
+	})
+	for i, m := range ms {
+		resp.Results[string(m)] = results[i]
+	}
+	return resp
+}
+
+// validateOptions resolves methods, path cap and placement, writing a 400
+// on any invalid field.
+func (s *Server) validateOptions(w http.ResponseWriter, methods []string,
+	pathCap int, placement string) ([]analysis.Method, analysis.Options, bool) {
+
+	ms, err := parseMethods(methods)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, analysis.Options{}, false
+	}
+	if pathCap < 0 {
+		writeError(w, http.StatusBadRequest, "negative path_cap %d", pathCap)
+		return nil, analysis.Options{}, false
+	}
+	pl, err := parsePlacement(placement)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, analysis.Options{}, false
+	}
+	return ms, analysis.Options{PathCap: pathCap, Placement: pl}, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // nothing useful to do on a client that went away
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// admit reserves n analysis jobs, writing the appropriate rejection when
+// they do not fit: a request that could never fit (n exceeds the queue
+// bound outright) gets a non-retryable 400, while a transient full queue
+// gets the backpressure 429 + Retry-After.
+func (s *Server) admit(w http.ResponseWriter, n int) bool {
+	if n > s.cfg.MaxQueue {
+		writeError(w, http.StatusBadRequest,
+			"request requires %d analysis jobs, above the server's queue capacity %d; reduce n/batch size or raise -max-queue",
+			n, s.cfg.MaxQueue)
+		return false
+	}
+	if !s.engine.tryAdmit(n) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "analysis queue full, retry later")
+		return false
+	}
+	return true
+}

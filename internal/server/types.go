@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/model"
+	"dpcpp/internal/partition"
+	"dpcpp/internal/rt"
+)
+
+// AnalyzeRequest is the body of POST /v1/analyze: one taskset and the
+// methods to run on it. The taskset uses the same JSON schema as
+// cmd/taskgen output and audit fixtures (model.Taskset).
+type AnalyzeRequest struct {
+	Taskset *model.Taskset `json:"taskset"`
+	// Methods selects the analyses; empty means all five.
+	Methods []string `json:"methods,omitempty"`
+	// PathCap bounds EP path enumeration (0 = the analysis default).
+	PathCap int `json:"path_cap,omitempty"`
+	// Placement selects the DPCP-p resource-placement heuristic:
+	// "wfd" (default, Algorithm 2) or "ffd".
+	Placement string `json:"placement,omitempty"`
+	// Explain adds the Theorem 1 per-task breakdown to DPCP-p-EP results.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/analyze/batch: many tasksets
+// analyzed under one shared option set, fanned out over the worker pool.
+type BatchRequest struct {
+	Tasksets  []*model.Taskset `json:"tasksets"`
+	Methods   []string         `json:"methods,omitempty"`
+	PathCap   int              `json:"path_cap,omitempty"`
+	Placement string           `json:"placement,omitempty"`
+}
+
+// MethodResult is one method's verdict for one taskset: the wire form of
+// partition.Result plus the optional explain breakdown. It is what the
+// result cache stores, so cache hits serve responses without touching the
+// analysis engine.
+type MethodResult struct {
+	Schedulable bool `json:"schedulable"`
+	// WCRT maps task IDs to response-time bounds (omitted when the
+	// analysis rejected the set before producing bounds).
+	WCRT map[rt.TaskID]rt.Time `json:"wcrt,omitempty"`
+	// Rounds is the number of outer partitioning iterations.
+	Rounds int `json:"rounds"`
+	// Reason explains a rejection.
+	Reason string `json:"reason,omitempty"`
+	// Explain carries the Theorem 1 breakdown (DPCP-p-EP with
+	// explain=true only).
+	Explain []analysis.Breakdown `json:"explain,omitempty"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze: the
+// taskset's content address and one result per requested method.
+type AnalyzeResponse struct {
+	// Hash is the canonical content address of the analyzed taskset
+	// (model.Taskset.Hash); identical tasksets always return identical
+	// hashes, which is exactly the cache/coalescing key prefix.
+	Hash    string                   `json:"hash"`
+	Results map[string]*MethodResult `json:"results"`
+}
+
+// BatchResponse is the body of a successful POST /v1/analyze/batch, with
+// Results[i] corresponding to Tasksets[i] of the request.
+type BatchResponse struct {
+	Results []*AnalyzeResponse `json:"results"`
+}
+
+// GridPoint is one NDJSON line of GET /v1/grid: the acceptance counts of
+// one utilization point, emitted the moment the pool finishes the point's
+// last sample. Points stream in completion order; Point indexes into the
+// scenario's ascending utilization sweep.
+type GridPoint struct {
+	Point       int            `json:"point"`
+	Utilization float64        `json:"utilization"`
+	Normalized  float64        `json:"normalized"`
+	Total       int            `json:"total"`
+	GenFailures int            `json:"gen_failures,omitempty"`
+	Accepted    map[string]int `json:"accepted"`
+}
+
+// GridDone is the trailing NDJSON line of a completed grid stream, letting
+// clients distinguish completion from truncation.
+type GridDone struct {
+	Done   bool `json:"done"`
+	Points int  `json:"points"`
+}
+
+// errorResponse is the structured body of every 4xx/5xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// parseMethods validates and resolves a method-name list ([] = all five).
+func parseMethods(names []string) ([]analysis.Method, error) {
+	if len(names) == 0 {
+		return analysis.Methods(), nil
+	}
+	out := make([]analysis.Method, 0, len(names))
+	for _, name := range names {
+		m := analysis.Method(strings.TrimSpace(name))
+		known := false
+		for _, k := range analysis.Methods() {
+			if m == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown method %q (known: %v)", name, analysis.Methods())
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// parsePlacement resolves the placement-heuristic name.
+func parsePlacement(name string) (partition.PlacementHeuristic, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "wfd":
+		return partition.WFD, nil
+	case "ffd":
+		return partition.FFD, nil
+	default:
+		return partition.WFD, fmt.Errorf("unknown placement %q (known: wfd, ffd)", name)
+	}
+}
