@@ -11,6 +11,7 @@ import (
 	"dpcpp/internal/rt"
 	"dpcpp/internal/server"
 	"dpcpp/internal/sim"
+	"dpcpp/internal/store"
 	"dpcpp/internal/taskgen"
 )
 
@@ -254,14 +255,25 @@ type (
 	ServerConfig = server.Config
 	// AnalysisServer is the http.Handler exposing the analysis service:
 	// POST /v1/analyze, POST /v1/analyze/batch, GET /v1/grid (NDJSON
-	// stream), GET /v1/metrics, GET /healthz.
+	// stream), POST/GET /v1/sweeps (asynchronous sweep jobs),
+	// GET /v1/metrics, GET /healthz.
 	AnalysisServer = server.Server
-	// ServerMetrics is the service's cache/coalescing/admission counters.
+	// ServerMetrics is the service's cache/coalescing/admission/store
+	// counters.
 	ServerMetrics = server.Metrics
+	// ResultStore is the on-disk content-addressed result store backing
+	// the server's in-memory cache across restarts (ServerConfig.StoreDir).
+	ResultStore = store.Store
 )
 
 // NewServer builds the analysis service: content-addressed result caching
-// keyed by TasksetHash, singleflight coalescing of concurrent identical
-// requests, and bounded admission over the shared worker pool. See
-// cmd/schedd for the daemon wrapping it.
-func NewServer(cfg ServerConfig) *AnalysisServer { return server.New(cfg) }
+// keyed by TasksetHash (optionally persisted across restarts via
+// cfg.StoreDir), singleflight coalescing of concurrent identical requests,
+// bounded admission over the shared worker pool, and durable asynchronous
+// sweep jobs. Call Close on the returned server during shutdown to
+// checkpoint sweep progress. See cmd/schedd for the daemon wrapping it.
+func NewServer(cfg ServerConfig) (*AnalysisServer, error) { return server.New(cfg) }
+
+// OpenResultStore opens (creating if needed) a persistent result store
+// rooted at dir, the same layout ServerConfig.StoreDir uses.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }

@@ -1,15 +1,25 @@
 // Command schedd serves the schedulability engine over HTTP: a
 // long-running daemon around internal/server with content-addressed result
-// caching, request coalescing and bounded admission.
+// caching, request coalescing, bounded admission, and durable asynchronous
+// sweep jobs.
 //
-//	schedd -addr :8080 -workers 0 -cache-size 4096 -max-body 8388608
+//	schedd -addr :8080 -workers 0 -cache-size 4096 -max-body 8388608 \
+//	       -store-dir /var/lib/schedd
 //
 //	curl -s localhost:8080/v1/analyze -d @request.json
 //	curl -s 'localhost:8080/v1/grid?scenario=2a&n=25'
+//	curl -s localhost:8080/v1/sweeps -d '{"scenarios":["2a","2b"],"n":25}'
+//	curl -s localhost:8080/v1/sweeps/<id>
 //	curl -s localhost:8080/v1/metrics
 //
+// With -store-dir set, analysis results persist in an on-disk
+// content-addressed store (restarts keep the cache warm) and sweep jobs
+// checkpoint per-point progress there; a restarted daemon resumes
+// unfinished sweeps unless -resume=false.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// complete (bounded by -shutdown-timeout), new connections are refused.
+// complete (bounded by -shutdown-timeout), new connections are refused,
+// and sweep jobs checkpoint so nothing is lost.
 package main
 
 import (
@@ -44,18 +54,27 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		cacheSize   = fs.Int("cache-size", server.DefaultCacheSize, "result cache capacity (entries)")
 		maxBody     = fs.Int64("max-body", server.DefaultMaxBody, "request body limit (bytes)")
 		maxQueue    = fs.Int("max-queue", 0, "admission queue bound in jobs (0 = max(1024*workers, 65536))")
+		storeDir    = fs.String("store-dir", "", "persistent result store + sweep-job checkpoints (empty = in-memory only)")
+		resume      = fs.Bool("resume", true, "resume unfinished checkpointed sweep jobs from -store-dir at startup")
 		shutTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	srv := server.New(server.Config{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		MaxBody:   *maxBody,
-		MaxQueue:  *maxQueue,
+	srv, err := server.New(server.Config{
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		MaxBody:       *maxBody,
+		MaxQueue:      *maxQueue,
+		StoreDir:      *storeDir,
+		DisableResume: !*resume,
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer srv.Close()
 	hs := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,

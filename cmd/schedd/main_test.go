@@ -93,7 +93,11 @@ func TestAnalyzeResponseGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := server.New(server.Config{Workers: 2})
+	s, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	req := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(body))
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, req)
@@ -117,6 +121,78 @@ func TestAnalyzeResponseGolden(t *testing.T) {
 	}
 }
 
+// TestSweepMatchesSchedtestGolden is the sweep-job acceptance test: a
+// sweep submitted via POST /v1/sweeps covering Fig. 2(a) must produce
+// curves byte-identical to the cmd/schedtest fig2a golden — the
+// asynchronous job path, the streaming grid path and the CLI are all the
+// same experiment.
+func TestSweepMatchesSchedtestGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("..", "schedtest", "testdata", "fig2a_n2.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/sweeps",
+		strings.NewReader(`{"scenarios":["2a"],"n":2,"seed":2020}`)))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", w.Code, w.Body.String())
+	}
+	var acc server.SweepAccepted
+	if err := json.Unmarshal(w.Body.Bytes(), &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	var res server.SweepResults
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		w = httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/sweeps/"+acc.ID+"/results", nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("results: %d", w.Code)
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.State == "done" {
+			break
+		}
+		if res.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("sweep never finished: state %q", res.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	scen, err := taskgen.Fig2Scenario("2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen = scen.DefaultStructure()
+	curve := &experiments.Curve{Scenario: scen, Methods: analysis.Methods()}
+	for pi, gp := range res.Scenarios[0].Points {
+		pt := experiments.Point{
+			Utilization: taskgen.UtilizationPoints(scen.M)[pi],
+			Normalized:  taskgen.UtilizationPoints(scen.M)[pi] / float64(scen.M),
+			Total:       gp.Total,
+			Accepted:    make(map[analysis.Method]int),
+		}
+		for m, n := range gp.Accepted {
+			pt.Accepted[analysis.Method(m)] = n
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	got := fmt.Sprintf("Fig. 2(a): acceptance ratio vs normalized utilization\n%s",
+		experiments.FormatCurve(curve))
+	if got != string(want) {
+		t.Errorf("sweep job diverges from the schedtest golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 // TestGridMatchesSchedtestGolden reconstructs the Fig. 2(a) acceptance
 // table from the server's NDJSON stream and diffs the verdicts against the
 // cmd/schedtest golden file: the service and the CLI must be the same
@@ -127,7 +203,11 @@ func TestGridMatchesSchedtestGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := server.New(server.Config{})
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	req := httptest.NewRequest(http.MethodGet, "/v1/grid?scenario=2a&n=2&seed=2020", nil)
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, req)

@@ -22,8 +22,10 @@
 //     cross-checking every analysis against the simulator
 //     (package internal/audit), and
 //   - a long-running analysis service exposing all of it over an HTTP
-//     JSON API with content-addressed result caching and request
-//     coalescing (package internal/server, daemon cmd/schedd).
+//     JSON API with content-addressed result caching, request coalescing,
+//     and durable asynchronous sweep jobs backed by a persistent result
+//     store (packages internal/server and internal/store, daemon
+//     cmd/schedd).
 //
 // # Quick start
 //
@@ -102,4 +104,25 @@
 // shutdown; the streamed GET /v1/grid endpoint derives every sample seed
 // through experiments.SampleSeed, so a streamed acceptance curve is
 // bit-identical to `schedtest -fig` with the same seed.
+//
+// # Sweep jobs and the persistent store
+//
+// The paper's headline artifact is whole acceptance-ratio campaigns, so
+// the service runs them as durable background jobs rather than one open
+// connection per curve. POST /v1/sweeps accepts any subset of the Fig. 2
+// subplots and the 216-scenario grid and returns a job ID immediately; a
+// FIFO runner drains each job's (scenario, point, sample) fan-out through
+// experiments.ScenarioSweep on the shared pool, bounded by the same
+// worker slots interactive requests use. GET /v1/sweeps/{id} reports
+// per-scenario progress in completed points; /results serves the curves.
+//
+// Durability is layered under both the cache and the jobs
+// (internal/store): with a store directory configured, every analysis
+// result writes through to an on-disk content-addressed store keyed by
+// the same canonical hash — restarts keep the cache warm — and sweep jobs
+// checkpoint each completed utilization point to an atomically-written
+// JSON file. A restarted daemon reloads the checkpoints and resumes
+// unfinished sweeps, re-running only incomplete points; sample seeds are
+// pure functions of (seed, scenario, point, sample), so a resumed sweep's
+// curves are byte-identical to an uninterrupted run's.
 package dpcpp

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"context"
+	"sync/atomic"
+
+	"dpcpp/internal/model"
+	"dpcpp/internal/taskgen"
+)
+
+// ScenarioSweep drains the (utilization point, sample) jobs of one scenario
+// through the shared pool with per-point completion callbacks. It is the
+// primitive under every streaming or resumable sweep frontend: the analysis
+// server's GET /v1/grid streams a point the moment its last sample lands,
+// and the asynchronous sweep-job runner checkpoints completed points so a
+// restarted daemon re-runs only the remainder.
+//
+// Points selects which utilization-point indices to run (indices into
+// taskgen.UtilizationPoints(Scenario.M)); nil means all of them. Because
+// every sample's generator seed is SampleSeed(Seed, scenario, point,
+// sample) — a pure function, independent of which other points run or how
+// workers interleave — running points {7} alone draws bit-identical
+// tasksets to a full sweep's point 7. That subsetting determinism is what
+// makes checkpoint/resume exact: a resumed sweep's curve equals an
+// uninterrupted run's, byte for byte.
+type ScenarioSweep struct {
+	// Scenario must have its structure resolved (DefaultStructure).
+	Scenario taskgen.Scenario
+	// Seed is the base seed every sample seed derives from.
+	Seed int64
+	// Samples is the per-point sample count (<= 0 means 25, matching
+	// Campaign).
+	Samples int
+	// Points lists the utilization-point indices to run; nil = all.
+	Points []int
+	// Workers bounds the pool (<= 0 = GOMAXPROCS).
+	Workers int
+}
+
+// Run executes the sweep. For every (point, sample) job it draws the
+// deterministic taskset and calls analyze(pi, si, ts, genErr) — with ts nil
+// and genErr set when generation failed structurally. When a point's last
+// sample drains, onPoint(pi, complete) fires exactly once, from a worker
+// goroutine; complete reports whether every sample of the point actually
+// ran. A canceled ctx stops new generation and analysis work — remaining
+// jobs drain without calling analyze, and their points report
+// complete=false — so callers never checkpoint a partially-run point.
+// Either callback may be nil.
+func (sw ScenarioSweep) Run(ctx context.Context,
+	analyze func(pi, si int, ts *model.Taskset, genErr error),
+	onPoint func(pi int, complete bool)) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	samples := sw.Samples
+	if samples <= 0 {
+		samples = 25
+	}
+	utils := taskgen.UtilizationPoints(sw.Scenario.M)
+	points := sw.Points
+	if points == nil {
+		points = make([]int, len(utils))
+		for i := range points {
+			points[i] = i
+		}
+	}
+	if len(points) == 0 {
+		return
+	}
+
+	// left/ran are indexed like points (the sweep's local order), not like
+	// the scenario's full point list.
+	type pointState struct {
+		left atomic.Int64
+		ran  atomic.Int64
+	}
+	states := make([]pointState, len(points))
+	for i := range states {
+		states[i].left.Store(int64(samples))
+	}
+
+	workers := Workers(sw.Workers)
+	gens := make([]*taskgen.Generator, workers)
+	name := sw.Scenario.Name()
+	ParallelFor(workers, len(points)*samples, func(worker, idx int) {
+		li, si := idx/samples, idx%samples
+		pi := points[li]
+		st := &states[li]
+		if ctx.Err() == nil {
+			g := gens[worker]
+			if g == nil {
+				g = taskgen.NewGenerator(sw.Scenario)
+				gens[worker] = g
+			}
+			seed := SampleSeed(sw.Seed, name, pi, si)
+			ts, err := GenerateSample(g, seed, utils[pi])
+			if analyze != nil {
+				analyze(pi, si, ts, err)
+			}
+			st.ran.Add(1)
+		}
+		if st.left.Add(-1) == 0 && onPoint != nil {
+			onPoint(pi, st.ran.Load() == int64(samples))
+		}
+	})
+}

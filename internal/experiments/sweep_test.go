@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dpcpp/internal/model"
+	"dpcpp/internal/taskgen"
+)
+
+func sweepScenario(t *testing.T) taskgen.Scenario {
+	t.Helper()
+	scen, err := taskgen.Fig2Scenario("2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scen.DefaultStructure()
+}
+
+// TestScenarioSweepSubsetDeterminism is the resume contract: running one
+// point alone must draw bit-identical tasksets to a full sweep at that
+// point, because checkpoint/resume replays exactly such subsets.
+func TestScenarioSweepSubsetDeterminism(t *testing.T) {
+	scen := sweepScenario(t)
+	const samples = 2
+	collect := func(points []int) map[[2]int]model.Hash {
+		var mu sync.Mutex
+		got := make(map[[2]int]model.Hash)
+		ScenarioSweep{Scenario: scen, Seed: 2020, Samples: samples, Points: points}.Run(
+			context.Background(),
+			func(pi, si int, ts *model.Taskset, genErr error) {
+				if genErr != nil {
+					t.Errorf("point %d sample %d: %v", pi, si, genErr)
+					return
+				}
+				mu.Lock()
+				got[[2]int{pi, si}] = ts.Hash()
+				mu.Unlock()
+			}, nil)
+		return got
+	}
+
+	full := collect(nil)
+	utils := taskgen.UtilizationPoints(scen.M)
+	if len(full) != len(utils)*samples {
+		t.Fatalf("full sweep analyzed %d samples, want %d", len(full), len(utils)*samples)
+	}
+	subset := collect([]int{3, 7})
+	if len(subset) != 2*samples {
+		t.Fatalf("subset sweep analyzed %d samples, want %d", len(subset), 2*samples)
+	}
+	for k, h := range subset {
+		if full[k] != h {
+			t.Errorf("point %d sample %d: subset hash %s != full-sweep hash %s",
+				k[0], k[1], h, full[k])
+		}
+	}
+}
+
+// TestScenarioSweepPointCallbacks: onPoint fires exactly once per selected
+// point, with complete=true, after all of its samples.
+func TestScenarioSweepPointCallbacks(t *testing.T) {
+	scen := sweepScenario(t)
+	points := []int{0, 4, 9}
+	const samples = 2
+	var mu sync.Mutex
+	ran := make(map[int]int)
+	done := make(map[int]bool)
+	ScenarioSweep{Scenario: scen, Seed: 1, Samples: samples, Points: points}.Run(
+		context.Background(),
+		func(pi, si int, ts *model.Taskset, genErr error) {
+			mu.Lock()
+			ran[pi]++
+			mu.Unlock()
+		},
+		func(pi int, complete bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done[pi] {
+				t.Errorf("point %d completed twice", pi)
+			}
+			done[pi] = true
+			if !complete {
+				t.Errorf("point %d reported complete=false without cancellation", pi)
+			}
+			if ran[pi] != samples {
+				t.Errorf("point %d completed after %d samples, want %d", pi, ran[pi], samples)
+			}
+		})
+	if len(done) != len(points) {
+		t.Fatalf("%d points completed, want %d", len(done), len(points))
+	}
+}
+
+// TestScenarioSweepCancellation: a canceled context stops analyze calls and
+// every point reports complete=false, so no caller checkpoints a
+// partially-run point.
+func TestScenarioSweepCancellation(t *testing.T) {
+	scen := sweepScenario(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the sweep starts: nothing may run
+	analyzed := 0
+	completes := 0
+	var mu sync.Mutex
+	ScenarioSweep{Scenario: scen, Seed: 1, Samples: 3, Points: []int{0, 1}}.Run(ctx,
+		func(pi, si int, ts *model.Taskset, genErr error) {
+			mu.Lock()
+			analyzed++
+			mu.Unlock()
+		},
+		func(pi int, complete bool) {
+			mu.Lock()
+			if complete {
+				t.Errorf("canceled sweep reported point %d complete", pi)
+			}
+			completes++
+			mu.Unlock()
+		})
+	if analyzed != 0 {
+		t.Errorf("canceled sweep ran %d analyses, want 0", analyzed)
+	}
+	if completes != 2 {
+		t.Errorf("canceled sweep drained %d points, want 2", completes)
+	}
+}

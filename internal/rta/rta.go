@@ -14,7 +14,9 @@ const MaxIterations = 1 << 20
 // starting from x0, i.e. the limit of x_{k+1} = f(x_k). It stops as soon as
 // the iterate exceeds limit and reports converged=false (callers treat that
 // as "deadline exceeded / unschedulable"). f must satisfy f(x) >= x0 and be
-// monotone non-decreasing for the result to be the least fixed point.
+// monotone non-decreasing for the result to be the least fixed point; a
+// detected non-monotone step (f(x) < x, a caller bug) also reports
+// converged=false, so a broken recurrence can never certify schedulability.
 func FixPoint(x0, limit rt.Time, f func(rt.Time) rt.Time) (x rt.Time, converged bool) {
 	x = x0
 	for i := 0; i < MaxIterations; i++ {
@@ -24,8 +26,12 @@ func FixPoint(x0, limit rt.Time, f func(rt.Time) rt.Time) (x rt.Time, converged 
 		next := f(x)
 		if next < x {
 			// A non-monotone step indicates a bug in the caller's
-			// recurrence; clamp rather than loop forever.
-			return x, true
+			// recurrence. The iterate is not a fixed point (f(x) != x), so
+			// reporting convergence here would let a buggy recurrence
+			// certify schedulability; fail the computation instead —
+			// callers treat non-convergence as "unschedulable", which is
+			// the only sound verdict available.
+			return x, false
 		}
 		if next == x {
 			return x, true

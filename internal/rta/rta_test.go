@@ -42,6 +42,33 @@ func TestFixPointDivergence(t *testing.T) {
 	}
 }
 
+// TestFixPointNonMonotone: a recurrence that steps downward is a caller
+// bug, not a fixed point. FixPoint must report converged=false so the
+// caller's "non-convergence = unschedulable" handling keeps the verdict
+// sound, instead of silently certifying a value with f(x) != x.
+func TestFixPointNonMonotone(t *testing.T) {
+	calls := 0
+	f := func(x rt.Time) rt.Time {
+		calls++
+		if x < 10 {
+			return x + 5
+		}
+		return x - 3 // deliberately non-monotone past 10
+	}
+	x, ok := FixPoint(0, 100, f)
+	if ok {
+		t.Errorf("non-monotone recurrence reported converged=true at %d", x)
+	}
+	if calls == 0 || calls > 4 {
+		t.Errorf("expected the downward step to stop iteration quickly, got %d calls", calls)
+	}
+
+	// Immediately decreasing from x0 must fail too.
+	if x, ok := FixPoint(50, 100, func(x rt.Time) rt.Time { return x - 1 }); ok {
+		t.Errorf("decreasing recurrence reported converged=true at %d", x)
+	}
+}
+
 func TestFixPointLimitExceededImmediately(t *testing.T) {
 	if _, ok := FixPoint(200, 100, func(x rt.Time) rt.Time { return x }); ok {
 		t.Error("x0 above limit must report non-convergence")

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"strconv"
 	"sync/atomic"
 
@@ -8,6 +9,7 @@ import (
 	"dpcpp/internal/experiments"
 	"dpcpp/internal/model"
 	"dpcpp/internal/partition"
+	"dpcpp/internal/store"
 )
 
 // engine is the cache-aware analysis core under every handler. The layering
@@ -29,7 +31,13 @@ type engine struct {
 	workers  int
 	maxQueue int64
 	cache    *lru[*MethodResult]
-	flight   flightGroup
+	// st, when non-nil, is the on-disk write-through layer under the LRU:
+	// misses consult it before paying for an analysis, and fresh results
+	// are persisted so a restarted daemon keeps its cache warm. Store
+	// failures only degrade to recomputation (counted in storeErrors),
+	// never to request failures.
+	st     *store.Store
+	flight flightGroup
 	// slots bounds concurrently executing analyses to the worker count;
 	// queued counts admitted-but-unfinished jobs for backpressure.
 	slots  chan struct{}
@@ -45,28 +53,42 @@ type engine struct {
 	cacheMisses atomic.Int64
 	coalesced   atomic.Int64
 	rejected    atomic.Int64
+	storeHits   atomic.Int64
+	storePuts   atomic.Int64
+	storeErrors atomic.Int64
 }
 
 // Metrics is the JSON body of GET /v1/metrics: monotonic counters plus
 // point-in-time gauges.
 type Metrics struct {
+	// Requests counts analysis-bearing requests only (/v1/analyze,
+	// /v1/analyze/batch, /v1/grid, POST /v1/sweeps) — liveness and metrics
+	// probes never inflate it.
 	Requests     int64 `json:"requests"`
 	Analyses     int64 `json:"analyses"`
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	Coalesced    int64 `json:"coalesced"`
 	Rejected     int64 `json:"rejected"`
+	StoreHits    int64 `json:"store_hits"`
+	StorePuts    int64 `json:"store_puts"`
+	StoreErrors  int64 `json:"store_errors"`
 	QueuedJobs   int64 `json:"queued_jobs"`
 	CacheEntries int64 `json:"cache_entries"`
 	Workers      int   `json:"workers"`
+	// Sweep-job gauges/counters (see jobs.go).
+	SweepsSubmitted int64 `json:"sweeps_submitted"`
+	SweepsCompleted int64 `json:"sweeps_completed"`
+	SweepsActive    int64 `json:"sweeps_active"`
 }
 
-func newEngine(workers, cacheSize int, maxQueue int64) *engine {
+func newEngine(workers, cacheSize int, maxQueue int64, st *store.Store) *engine {
 	workers = experiments.Workers(workers)
 	return &engine{
 		workers:  workers,
 		maxQueue: maxQueue,
 		cache:    newLRU[*MethodResult](cacheSize),
+		st:       st,
 		slots:    make(chan struct{}, workers),
 		testFn:   analysis.Test,
 	}
@@ -128,6 +150,13 @@ func (e *engine) analyze(h model.Hash, ts *model.Taskset, m analysis.Method,
 		if v, ok := e.cache.get(key); ok {
 			return v
 		}
+		// The persistent store is the next layer down: a result computed in
+		// a previous process lifetime costs a disk read, not an analysis or
+		// a worker slot.
+		if mr := e.storeGet(key); mr != nil {
+			e.cache.add(key, mr)
+			return mr
+		}
 		e.slots <- struct{}{}
 		defer func() { <-e.slots }()
 		e.analyses.Add(1)
@@ -146,6 +175,7 @@ func (e *engine) analyze(h model.Hash, ts *model.Taskset, m analysis.Method,
 			mr.Explain = analysis.NewDPCPp(ts, pc, false).Explain(res.Partition)
 		}
 		e.cache.add(key, mr)
+		e.storePut(key, mr)
 		return mr
 	})
 	if shared {
@@ -174,7 +204,48 @@ func (e *engine) cachedAll(h model.Hash, ms []analysis.Method,
 	return out
 }
 
-// snapshot captures the current metrics.
+// storeGet fetches and decodes a persisted result (nil on miss, on a
+// disabled store, or on any store failure — failures degrade to
+// recomputation).
+func (e *engine) storeGet(key string) *MethodResult {
+	if e.st == nil {
+		return nil
+	}
+	data, ok, err := e.st.Get(key)
+	if err != nil {
+		e.storeErrors.Add(1)
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	var mr MethodResult
+	if err := json.Unmarshal(data, &mr); err != nil {
+		e.storeErrors.Add(1)
+		return nil
+	}
+	e.storeHits.Add(1)
+	return &mr
+}
+
+// storePut persists a fresh result; failures are counted, never surfaced.
+func (e *engine) storePut(key string, mr *MethodResult) {
+	if e.st == nil {
+		return
+	}
+	data, err := json.Marshal(mr)
+	if err == nil {
+		err = e.st.Put(key, data)
+	}
+	if err != nil {
+		e.storeErrors.Add(1)
+		return
+	}
+	e.storePuts.Add(1)
+}
+
+// snapshot captures the engine's metrics; the server layers the sweep-job
+// counters on top (Server.Metrics).
 func (e *engine) snapshot() Metrics {
 	return Metrics{
 		Requests:     e.requests.Load(),
@@ -183,6 +254,9 @@ func (e *engine) snapshot() Metrics {
 		CacheMisses:  e.cacheMisses.Load(),
 		Coalesced:    e.coalesced.Load(),
 		Rejected:     e.rejected.Load(),
+		StoreHits:    e.storeHits.Load(),
+		StorePuts:    e.storePuts.Load(),
+		StoreErrors:  e.storeErrors.Load(),
 		QueuedJobs:   e.queued.Load(),
 		CacheEntries: e.cache.entries(),
 		Workers:      e.workers,

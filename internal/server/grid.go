@@ -8,7 +8,9 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
+	"dpcpp/internal/model"
 	"dpcpp/internal/taskgen"
 )
 
@@ -33,6 +35,7 @@ const maxGridSamples = 10000
 //	methods   comma-separated method subset (default all)
 //	pathcap   EP path enumeration cap (default: analysis default)
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	s.engine.requests.Add(1)
 	q := r.URL.Query()
 	scen, err := parseScenario(q.Get("scenario"))
 	if err != nil {
@@ -72,55 +75,26 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	defer s.engine.release(jobs)
 
 	// Per-point completion tracking: workers fold verdicts into atomic
-	// counters and hand the point index to the streaming goroutine when
-	// its last sample lands.
-	type pointState struct {
-		accepted []atomic.Int64 // indexed like ms
-		genFail  atomic.Int64
-		total    atomic.Int64
-		left     atomic.Int64
-	}
-	states := make([]pointState, len(points))
-	for pi := range states {
-		states[pi].accepted = make([]atomic.Int64, len(ms))
-		states[pi].left.Store(int64(n))
-	}
+	// counters (sweepPointState) and the sweep hands the point index to
+	// the streaming loop when its last sample lands. A canceled stream
+	// stops paying for analyses (ScenarioSweep skips the work) but still
+	// drains every index so admission accounting stays exact.
+	states := newSweepPointStates(len(points), len(ms))
 	done := make(chan int, len(points))
 	ctx := r.Context()
 
 	go func() {
 		defer close(done)
-		workers := s.cfg.Workers
-		gens := make([]*taskgen.Generator, workers)
-		experiments.ParallelFor(workers, jobs, func(worker, idx int) {
-			pi, si := idx/n, idx%n
-			st := &states[pi]
-			// A canceled stream stops paying for analyses but still
-			// drains indices so admission accounting stays exact.
-			if ctx.Err() == nil {
-				g := gens[worker]
-				if g == nil {
-					g = taskgen.NewGenerator(scen)
-					gens[worker] = g
-				}
-				sampleSeed := experiments.SampleSeed(seed, scen.Name(), pi, si)
-				ts, err := experiments.GenerateSample(g, sampleSeed, points[pi])
-				if err != nil {
-					st.genFail.Add(1)
-				} else {
-					h := ts.Hash()
-					for mi, m := range ms {
-						if s.engine.analyze(h, ts, m, opts, false).Schedulable {
-							st.accepted[mi].Add(1)
-						}
-					}
-					st.total.Add(1)
-				}
-			}
-			if st.left.Add(-1) == 0 {
-				done <- pi
-			}
-		})
+		experiments.ScenarioSweep{
+			Scenario: scen,
+			Seed:     seed,
+			Samples:  n,
+			Workers:  s.cfg.Workers,
+		}.Run(ctx,
+			func(pi, si int, ts *model.Taskset, genErr error) {
+				states[pi].analyze(s.engine, ts, genErr, ms, opts)
+			},
+			func(pi int, complete bool) { done <- pi })
 	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -128,28 +102,76 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	streamed := 0
+	var writeErr error
 	for pi := range done {
-		st := &states[pi]
-		gp := GridPoint{
-			Point:       pi,
-			Utilization: points[pi],
-			Normalized:  points[pi] / float64(scen.M),
-			Total:       int(st.total.Load()),
-			GenFailures: int(st.genFail.Load()),
-			Accepted:    make(map[string]int, len(ms)),
+		// After the first failed write the client is gone: keep draining
+		// completions (the sweep still owes the admission release its
+		// drain), but stop encoding and flushing to a dead connection.
+		if writeErr != nil {
+			continue
 		}
-		for mi, m := range ms {
-			gp.Accepted[string(m)] = int(st.accepted[mi].Load())
+		gp := states[pi].gridPoint(pi, points[pi], scen.M, ms)
+		if writeErr = enc.Encode(gp); writeErr != nil {
+			continue
 		}
-		enc.Encode(gp)
 		if flusher != nil {
 			flusher.Flush()
 		}
 		streamed++
 	}
-	if ctx.Err() == nil {
+	if ctx.Err() == nil && writeErr == nil {
 		enc.Encode(GridDone{Done: true, Points: streamed})
 	}
+}
+
+// sweepPointState accumulates one utilization point's verdicts across its
+// samples; shared by the streaming grid endpoint and the sweep-job runner.
+type sweepPointState struct {
+	accepted []atomic.Int64 // indexed like the method slice
+	genFail  atomic.Int64
+	total    atomic.Int64
+}
+
+func newSweepPointStates(points, methods int) []sweepPointState {
+	states := make([]sweepPointState, points)
+	for pi := range states {
+		states[pi].accepted = make([]atomic.Int64, methods)
+	}
+	return states
+}
+
+// analyze folds one sample into the point: every requested method's verdict
+// for the generated taskset, or a generation failure.
+func (st *sweepPointState) analyze(e *engine, ts *model.Taskset, genErr error,
+	ms []analysis.Method, opts analysis.Options) {
+
+	if genErr != nil {
+		st.genFail.Add(1)
+		return
+	}
+	h := ts.Hash()
+	for mi, m := range ms {
+		if e.analyze(h, ts, m, opts, false).Schedulable {
+			st.accepted[mi].Add(1)
+		}
+	}
+	st.total.Add(1)
+}
+
+// gridPoint renders the accumulated counts as the wire form.
+func (st *sweepPointState) gridPoint(pi int, util float64, m int, ms []analysis.Method) *GridPoint {
+	gp := &GridPoint{
+		Point:       pi,
+		Utilization: util,
+		Normalized:  util / float64(m),
+		Total:       int(st.total.Load()),
+		GenFailures: int(st.genFail.Load()),
+		Accepted:    make(map[string]int, len(ms)),
+	}
+	for mi, meth := range ms {
+		gp.Accepted[string(meth)] = int(st.accepted[mi].Load())
+	}
+	return gp
 }
 
 // parseScenario resolves the scenario query parameter: a Fig. 2 subplot

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -48,7 +49,7 @@ func gridGet(t *testing.T, s *Server, url string) ([]GridPoint, *GridDone, int) 
 // direct experiments.Campaign run with the same seed — the server is a
 // transport, not a different experiment.
 func TestGridStream(t *testing.T) {
-	s := New(Config{Workers: 4})
+	s := newTestServer(t, Config{Workers: 4})
 	// One sample per point and the cheapest method keep this e2e sweep
 	// fast while still exercising generation, hashing and the cache.
 	const n = 1
@@ -111,8 +112,43 @@ func TestGridStream(t *testing.T) {
 	}
 }
 
+// deadConnWriter fails every write, like a client that disconnected before
+// the stream started; it counts the attempts.
+type deadConnWriter struct {
+	header http.Header
+	writes int
+}
+
+func (w *deadConnWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *deadConnWriter) WriteHeader(int) {}
+func (w *deadConnWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return 0, fmt.Errorf("write on closed connection")
+}
+
+// TestGridStopsEncodingOnDeadClient: after the first failed write the
+// handler must stop encoding points (and never send the done line), while
+// still draining the sweep so admission accounting returns to zero.
+func TestGridStopsEncodingOnDeadClient(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4})
+	req := httptest.NewRequest(http.MethodGet, "/v1/grid?scenario=2a&n=1&methods=DPCP-p-EN", nil)
+	w := &deadConnWriter{}
+	s.ServeHTTP(w, req)
+	if w.writes != 1 {
+		t.Errorf("handler attempted %d writes to a dead connection, want exactly 1 (the first failure)", w.writes)
+	}
+	if m := s.Metrics(); m.QueuedJobs != 0 {
+		t.Errorf("admission not drained after dead-client stream: %+v", m)
+	}
+}
+
 func TestGridParams(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := newTestServer(t, Config{Workers: 1})
 	for _, tc := range []struct {
 		name, url string
 	}{
@@ -134,7 +170,7 @@ func TestGridParams(t *testing.T) {
 	}
 	// A grid that could never fit the queue bound is rejected permanently
 	// (400, not a retryable 429).
-	s2 := New(Config{Workers: 1, MaxQueue: 5})
+	s2 := newTestServer(t, Config{Workers: 1, MaxQueue: 5})
 	_, _, code := gridGet(t, s2, "/v1/grid?scenario=2a&n=25")
 	if code != http.StatusBadRequest {
 		t.Fatalf("oversized grid: status %d, want 400", code)

@@ -27,8 +27,20 @@
 //	POST /v1/analyze        one taskset, one or all methods
 //	POST /v1/analyze/batch  many tasksets, shared options
 //	GET  /v1/grid           streaming acceptance-curve points (NDJSON)
-//	GET  /v1/metrics        cache/coalescing/admission counters
+//	POST /v1/sweeps         submit an asynchronous multi-scenario sweep job
+//	GET  /v1/sweeps         list sweep jobs
+//	GET  /v1/sweeps/{id}    sweep-job progress
+//	GET  /v1/sweeps/{id}/results  completed acceptance curves
+//	DELETE /v1/sweeps/{id}  cancel and forget a sweep job
+//	GET  /v1/metrics        cache/coalescing/admission/store counters
 //	GET  /healthz           liveness
+//
+// # Durability
+//
+// With Config.StoreDir set, results write through to an on-disk
+// content-addressed store (internal/store) and sweep jobs checkpoint their
+// per-point progress, so a restarted daemon keeps its cache warm and
+// resumes unfinished sweeps instead of dropping them (see jobs.go).
 package server
 
 import (
@@ -44,6 +56,7 @@ import (
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
 	"dpcpp/internal/model"
+	"dpcpp/internal/store"
 )
 
 // Defaults applied by Config.normalized.
@@ -67,6 +80,16 @@ type Config struct {
 	// non-retryable 400 (<= 0 = max(1024 * workers, 65536), large enough
 	// that every documented grid/batch request fits on a 1-core host).
 	MaxQueue int
+	// StoreDir, when non-empty, roots the persistent layer: an on-disk
+	// content-addressed result store backing the in-memory LRU, plus the
+	// sweep-job checkpoints under StoreDir/jobs. Empty disables
+	// persistence (results live only in the LRU, sweep jobs only in
+	// memory).
+	StoreDir string
+	// DisableResume skips re-starting unfinished checkpointed sweep jobs
+	// found in StoreDir/jobs at startup (they remain listed, paused, until
+	// a daemon with resume enabled picks them up).
+	DisableResume bool
 }
 
 func (c Config) normalized() Config {
@@ -86,41 +109,75 @@ func (c Config) normalized() Config {
 	return c
 }
 
+// fastResponse is one exact-body cache entry: the serialized response plus
+// how many method results it carries, so fast-path hit accounting matches
+// cachedAll (one cache hit per method, not per request).
+type fastResponse struct {
+	body    []byte
+	methods int
+}
+
 // Server is the http.Handler exposing the analysis service.
 type Server struct {
 	cfg    Config
 	engine *engine
 	mux    *http.ServeMux
+	jobs   *jobRegistry
 	// fast serves byte-identical repeats of /v1/analyze bodies without
 	// decoding, validating or hashing the taskset again: the stored
 	// response keyed by the SHA-256 of the raw body. Real fleets re-submit
 	// literally identical requests, and the response is a pure function of
 	// the body, so this is safe and turns the hit path into a hash plus a
 	// write.
-	fast *lru[[]byte]
+	fast *lru[fastResponse]
 }
 
 // New builds a Server. It is ready to serve immediately; wire it into an
-// http.Server for listening and graceful shutdown (see cmd/schedd).
-func New(cfg Config) *Server {
+// http.Server for listening and graceful shutdown (see cmd/schedd). With
+// cfg.StoreDir set, it opens the persistent result store and loads
+// checkpointed sweep jobs, resuming unfinished ones unless
+// cfg.DisableResume is set. Call Close on shutdown to checkpoint and stop
+// the sweep runner.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.normalized()
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:    cfg,
-		engine: newEngine(cfg.Workers, cfg.CacheSize, int64(cfg.MaxQueue)),
+		engine: newEngine(cfg.Workers, cfg.CacheSize, int64(cfg.MaxQueue), st),
 		mux:    http.NewServeMux(),
-		fast:   newLRU[[]byte](cfg.CacheSize),
+		fast:   newLRU[fastResponse](cfg.CacheSize),
+	}
+	var err error
+	if s.jobs, err = newJobRegistry(s, st); err != nil {
+		return nil, err
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
+
+// Close stops the sweep-job runner: the in-flight job stops at its next
+// point boundary, its progress is checkpointed (when a store is
+// configured), and Close returns once the runner has exited. In-flight
+// HTTP requests are the http.Server's to drain, not Close's.
+func (s *Server) Close() { s.jobs.close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.engine.requests.Add(1)
 	if r.Body != nil {
 		// The body cap is the first hardening layer: nothing past it ever
 		// reaches the JSON decoder, and oversized bodies fail with a
@@ -132,14 +189,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Metrics returns a snapshot of the service counters.
-func (s *Server) Metrics() Metrics { return s.engine.snapshot() }
+func (s *Server) Metrics() Metrics {
+	m := s.engine.snapshot()
+	s.jobs.fill(&m)
+	return m
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.snapshot())
+	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
 // decodeBody decodes one JSON document into dst with the request-boundary
@@ -200,6 +261,7 @@ func finalizeTaskset(w http.ResponseWriter, ts *model.Taskset, pos string) bool 
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.engine.requests.Add(1)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -213,9 +275,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	bodyKey := sha256.Sum256(body)
 	if resp, ok := s.fast.get(string(bodyKey[:])); ok {
-		s.engine.cacheHits.Add(1)
+		// One hit per method result served, exactly like cachedAll: the
+		// fast path is an optimization of the cached path, not a separate
+		// accounting regime.
+		s.engine.cacheHits.Add(int64(resp.methods))
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(resp)
+		w.Write(resp.body)
 		return
 	}
 
@@ -245,12 +310,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out = append(out, '\n') // match json.Encoder framing everywhere else
-	s.fast.add(string(bodyKey[:]), out)
+	s.fast.add(string(bodyKey[:]), fastResponse{body: out, methods: len(ms)})
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(out)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.engine.requests.Add(1)
 	var req BatchRequest
 	if decodeBody(w, r, &req) != nil {
 		return

@@ -18,6 +18,18 @@ import (
 	"dpcpp/internal/taskgen"
 )
 
+// newTestServer builds a Server and tears its sweep runner down with the
+// test.
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
 // testTaskset builds a small contended taskset; shift perturbs WCETs so
 // distinct shift values produce distinct content hashes.
 func testTaskset(t testing.TB, shift rt.Time) *model.Taskset {
@@ -84,7 +96,7 @@ func jsonRoundTrip(t testing.TB, ts *model.Taskset) *model.Taskset {
 }
 
 func TestAnalyzeSingle(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := newTestServer(t, Config{Workers: 2})
 	ts := testTaskset(t, 0)
 	w := post(t, s, "/v1/analyze", analyzeBody(t, ts))
 	if w.Code != http.StatusOK {
@@ -116,7 +128,7 @@ func TestAnalyzeSingle(t *testing.T) {
 // direct analysis.Test results produces — the server adds caching and
 // transport, never its own math or formatting.
 func TestAnalyzeDeterminism(t *testing.T) {
-	s := New(Config{Workers: 4})
+	s := newTestServer(t, Config{Workers: 4})
 	ts := testTaskset(t, 0)
 
 	want := &AnalyzeResponse{
@@ -151,7 +163,7 @@ func TestAnalyzeDeterminism(t *testing.T) {
 }
 
 func TestExplainBreakdown(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := newTestServer(t, Config{Workers: 2})
 	ts := testTaskset(t, 0)
 	body, _ := json.Marshal(AnalyzeRequest{
 		Taskset: jsonRoundTrip(t, ts),
@@ -171,7 +183,7 @@ func TestExplainBreakdown(t *testing.T) {
 }
 
 func TestCacheHitVsMiss(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := newTestServer(t, Config{Workers: 2})
 	var calls int64
 	var mu sync.Mutex
 	inner := s.engine.testFn
@@ -231,7 +243,7 @@ func TestCacheHitVsMiss(t *testing.T) {
 // server, so all N demonstrably overlap.
 func TestCoalescing(t *testing.T) {
 	const n = 16
-	s := New(Config{Workers: 4})
+	s := newTestServer(t, Config{Workers: 4})
 	release := make(chan struct{})
 	var calls int64
 	var mu sync.Mutex
@@ -293,7 +305,7 @@ func TestCoalescing(t *testing.T) {
 }
 
 func TestBatch(t *testing.T) {
-	s := New(Config{Workers: 4})
+	s := newTestServer(t, Config{Workers: 4})
 	var calls int64
 	var mu sync.Mutex
 	inner := s.engine.testFn
@@ -341,7 +353,7 @@ func TestBatch(t *testing.T) {
 }
 
 func TestBackpressure(t *testing.T) {
-	s := New(Config{Workers: 1, MaxQueue: 3})
+	s := newTestServer(t, Config{Workers: 1, MaxQueue: 3})
 	// Oversize: five methods can never fit a queue of 3 — a permanent
 	// condition, so a non-retryable 400, not a 429 inviting futile retries.
 	w := post(t, s, "/v1/analyze", analyzeBody(t, testTaskset(t, 0)))
@@ -354,7 +366,7 @@ func TestBackpressure(t *testing.T) {
 
 	// Transient: a blocked in-flight analysis holds the whole queue, so
 	// the next request gets the retryable 429.
-	s2 := New(Config{Workers: 1, MaxQueue: 1})
+	s2 := newTestServer(t, Config{Workers: 1, MaxQueue: 1})
 	release := make(chan struct{})
 	inner := s2.engine.testFn
 	s2.engine.testFn = func(m analysis.Method, ts *model.Taskset, opts analysis.Options) partition.Result {
@@ -402,7 +414,7 @@ func TestBackpressure(t *testing.T) {
 // must not 429 it — even when the body is not byte-identical to the
 // priming request.
 func TestCachedServedUnderSaturation(t *testing.T) {
-	s := New(Config{Workers: 1, MaxQueue: 1})
+	s := newTestServer(t, Config{Workers: 1, MaxQueue: 1})
 	primed := testTaskset(t, 0)
 	if w := post(t, s, "/v1/analyze", analyzeBody(t, primed, string(analysis.DPCPpEN))); w.Code != http.StatusOK {
 		t.Fatalf("priming request: %d", w.Code)
@@ -447,7 +459,7 @@ func TestCachedServedUnderSaturation(t *testing.T) {
 // TestHostileRequests: every malformed body must produce a structured 4xx,
 // never a panic or a 500 (the PR-2 model.Finalize hardening surfaces here).
 func TestHostileRequests(t *testing.T) {
-	s := New(Config{Workers: 1, MaxBody: 2048})
+	s := newTestServer(t, Config{Workers: 1, MaxBody: 2048})
 	valid := string(tasksetJSON(t, testTaskset(t, 0)))
 	cases := []struct {
 		name string
@@ -491,7 +503,7 @@ func TestHostileRequests(t *testing.T) {
 }
 
 func TestRouting(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := newTestServer(t, Config{Workers: 1})
 	for _, tc := range []struct {
 		method, path string
 		want         int
@@ -509,9 +521,83 @@ func TestRouting(t *testing.T) {
 			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, w.Code, tc.want)
 		}
 	}
+	// None of the above requests bears analysis work, so the traffic
+	// counter must stay untouched (liveness pollers would otherwise
+	// inflate it).
 	m := s.Metrics()
-	if m.Requests == 0 || m.Workers != 1 {
-		t.Errorf("metrics not populated: %+v", m)
+	if m.Requests != 0 || m.Workers != 1 {
+		t.Errorf("metrics after probes only: %+v", m)
+	}
+}
+
+// TestRequestCounterCountsAnalysisBearingOnly pins the requests metric:
+// /healthz and /v1/metrics probes are free, while every analysis-bearing
+// endpoint (analyze, batch, grid, sweep submission) counts exactly once.
+func TestRequestCounterCountsAnalysisBearingOnly(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	get := func(path string) {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		s.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	for i := 0; i < 7; i++ {
+		get("/healthz")
+		get("/v1/metrics")
+	}
+	if m := s.Metrics(); m.Requests != 0 {
+		t.Fatalf("probes counted as traffic: requests=%d", m.Requests)
+	}
+
+	post(t, s, "/v1/analyze", analyzeBody(t, testTaskset(t, 0), string(analysis.DPCPpEN)))
+	if m := s.Metrics(); m.Requests != 1 {
+		t.Fatalf("after analyze: requests=%d, want 1", m.Requests)
+	}
+	batch, _ := json.Marshal(BatchRequest{
+		Tasksets: []*model.Taskset{jsonRoundTrip(t, testTaskset(t, 0))},
+		Methods:  []string{string(analysis.DPCPpEN)},
+	})
+	post(t, s, "/v1/analyze/batch", batch)
+	get("/v1/grid?scenario=2a&n=1&methods=DPCP-p-EN") // 400-free, runs the sweep
+	post(t, s, "/v1/sweeps", []byte(`{"scenarios":["2a"],"n":1,"methods":["DPCP-p-EN"]}`))
+	get("/v1/sweeps")
+	if m := s.Metrics(); m.Requests != 4 {
+		t.Fatalf("after analyze+batch+grid+sweep submit (+probes): requests=%d, want 4", m.Requests)
+	}
+}
+
+// TestFastPathHitAccounting pins the exact-body fast path's cache-hit
+// accounting to the cachedAll convention: one hit per method result
+// served, not one per request.
+func TestFastPathHitAccounting(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := testTaskset(t, 0)
+	body := analyzeBody(t, ts) // all five methods
+
+	if w := post(t, s, "/v1/analyze", body); w.Code != http.StatusOK {
+		t.Fatalf("priming request: %d", w.Code)
+	}
+	base := s.Metrics().CacheHits
+
+	// Byte-identical repeat: served by the fast path, five results.
+	if w := post(t, s, "/v1/analyze", body); w.Code != http.StatusOK {
+		t.Fatalf("fast-path request: %d", w.Code)
+	}
+	afterFast := s.Metrics().CacheHits
+	if got := afterFast - base; got != int64(len(analysis.Methods())) {
+		t.Errorf("fast-path repeat counted %d hits, want %d (one per method)",
+			got, len(analysis.Methods()))
+	}
+
+	// Semantically identical but byte-different (reordered tasks): the
+	// cachedAll path must count the same way, so the two paths are
+	// indistinguishable in the metrics.
+	reordered := testTaskset(t, 0)
+	reordered.Tasks[0], reordered.Tasks[1] = reordered.Tasks[1], reordered.Tasks[0]
+	if w := post(t, s, "/v1/analyze", analyzeBody(t, reordered)); w.Code != http.StatusOK {
+		t.Fatalf("cachedAll request: %d", w.Code)
+	}
+	if got := s.Metrics().CacheHits - afterFast; got != int64(len(analysis.Methods())) {
+		t.Errorf("cachedAll repeat counted %d hits, want %d — fast path and cachedAll disagree",
+			got, len(analysis.Methods()))
 	}
 }
 
@@ -524,7 +610,7 @@ func FuzzAnalyzeRequest(f *testing.F) {
 	f.Add([]byte(`{"taskset":{"tasks":[],"num_resources":-1,"num_procs":2}}`))
 	f.Add([]byte(`{"taskset":{"tasks":[{"id":0,"period":1000,"deadline":1000,"vertices":[{"id":7,"wcet":100}]}],"num_resources":0,"num_procs":2},"methods":["DPCP-p-EP"],"path_cap":-99,"placement":"zzz","explain":true}`))
 	f.Add([]byte(`{"taskset":{"tasks":[{"id":0,"period":1000,"deadline":1000,"priority":1,"vertices":[{"id":0,"wcet":100,"requests":{"0":2}}],"cslen":[-5]}],"num_resources":1,"num_procs":2}}`))
-	s := New(Config{Workers: 1, MaxBody: 1 << 16})
+	s := newTestServer(f, Config{Workers: 1, MaxBody: 1 << 16})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		w := post(t, s, "/v1/analyze", body)
 		switch w.Code {
@@ -573,7 +659,7 @@ func BenchmarkServerAnalyze(b *testing.B) {
 		{"fig2a-hit", func(b *testing.B, i int) []byte { return fig2aBody(b, 1) }},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			s := New(Config{Workers: 1, CacheSize: 1 << 20, MaxQueue: 1 << 30})
+			s := newTestServer(b, Config{Workers: 1, CacheSize: 1 << 20, MaxQueue: 1 << 30})
 			bodies := make([][]byte, b.N)
 			for i := range bodies {
 				bodies[i] = bc.body(b, i)

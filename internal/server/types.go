@@ -89,6 +89,79 @@ type GridDone struct {
 	Points int  `json:"points"`
 }
 
+// SweepRequest is the body of POST /v1/sweeps: a whole acceptance-curve
+// campaign — one or more scenarios swept asynchronously as a background
+// job. Scenario names use the grid endpoint's syntax ("2a".."2d" or "g<i>"
+// for the 216-scenario grid).
+type SweepRequest struct {
+	Scenarios []string `json:"scenarios"`
+	// N is the per-point sample count (absent = 25). Pointers distinguish
+	// absent from explicit values so that, e.g., an explicit seed of 0
+	// means seed 0 exactly as it does on GET /v1/grid.
+	N *int `json:"n,omitempty"`
+	// Seed is the base seed (absent = 2020), derived per sample exactly
+	// like GET /v1/grid and the CLI sweeps.
+	Seed *int64 `json:"seed,omitempty"`
+	// Methods selects the analyses; empty means all five.
+	Methods []string `json:"methods,omitempty"`
+	// PathCap bounds EP path enumeration (0 = the analysis default).
+	PathCap int `json:"path_cap,omitempty"`
+	// Placement selects the DPCP-p resource-placement heuristic
+	// ("wfd"/"ffd").
+	Placement string `json:"placement,omitempty"`
+}
+
+// SweepAccepted is the 202 body of POST /v1/sweeps.
+type SweepAccepted struct {
+	ID string `json:"id"`
+	// Points is the total utilization-point count across every scenario
+	// of the sweep (the unit of progress and checkpointing).
+	Points int `json:"points"`
+}
+
+// SweepScenarioStatus is one scenario's progress within a sweep job.
+type SweepScenarioStatus struct {
+	Scenario string `json:"scenario"`
+	Points   int    `json:"points"`
+	Done     int    `json:"done"`
+}
+
+// SweepStatus is the body of GET /v1/sweeps/{id}: job state plus per-
+// scenario progress in points completed.
+type SweepStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // queued | running | paused | done | failed
+	Error string `json:"error,omitempty"`
+	N     int    `json:"n"`
+	Seed  int64  `json:"seed"`
+	// Methods is the canonicalized method subset the sweep runs.
+	Methods   []string              `json:"methods"`
+	Scenarios []SweepScenarioStatus `json:"scenarios"`
+}
+
+// SweepList is the body of GET /v1/sweeps, jobs in creation order.
+type SweepList struct {
+	Sweeps []SweepStatus `json:"sweeps"`
+}
+
+// SweepScenarioResult is one scenario's acceptance curve within a sweep's
+// results: Points is indexed by utilization point, with nil entries for
+// points that have not completed yet.
+type SweepScenarioResult struct {
+	Scenario string       `json:"scenario"`
+	Points   []*GridPoint `json:"points"`
+}
+
+// SweepResults is the body of GET /v1/sweeps/{id}/results. For a job in
+// state "done" every point is present, and — by SampleSeed determinism —
+// identical to what GET /v1/grid or the CLI would have produced for the
+// same (scenario, n, seed), regardless of restarts in between.
+type SweepResults struct {
+	ID        string                `json:"id"`
+	State     string                `json:"state"`
+	Scenarios []SweepScenarioResult `json:"scenarios"`
+}
+
 // errorResponse is the structured body of every 4xx/5xx response.
 type errorResponse struct {
 	Error string `json:"error"`

@@ -1,0 +1,149 @@
+// Package store persists content-addressed analysis results on disk, so a
+// restarted service keeps its cache warm: the in-memory LRU of
+// internal/server writes through to a Store, and repeated sweeps across
+// process lifetimes pay only for points they have never analyzed.
+//
+// The store is deliberately dumb: a flat mapping from an opaque key string
+// to a byte value, one file per entry. Because every key already is a
+// content address (the taskset's canonical SHA-256 hash joined with the
+// method and every verdict-changing option), entries never need
+// invalidation — a key's value is immutable, so crash-safety reduces to
+// atomic single-file writes (temp file + rename) and concurrent writers of
+// the same key are idempotent.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is an on-disk content-addressed byte store rooted at one directory.
+// All methods are safe for concurrent use; Get never observes a partial
+// Put.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its file: keys are arbitrary strings (cache keys
+// contain '|'), so the filename is the hex SHA-256 of the key, sharded by
+// its first two characters to keep directories small.
+func (s *Store) path(key string) string {
+	h := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(h[:])
+	return filepath.Join(s.dir, name[:2], name[2:])
+}
+
+// Get returns the stored value of key. The boolean reports presence; the
+// error reports anything other than a clean miss (an unreadable store is
+// not a miss, so callers can surface degradation in metrics).
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	switch {
+	case err == nil:
+		return data, true, nil
+	case os.IsNotExist(err):
+		return nil, false, nil
+	default:
+		return nil, false, err
+	}
+}
+
+// Put stores the value under key, atomically: a reader either sees the
+// whole value or none. Re-putting an existing key is allowed and (keys
+// being content addresses) idempotent.
+func (s *Store) Put(key string, val []byte) error {
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, val)
+}
+
+// Entries counts the stored values; it walks the store's shard
+// directories, so it is for tests and operator tooling, not hot paths.
+// Only content-addressed entries are counted: foreign files sharing the
+// root (e.g. the analysis server's sweep-job checkpoints under jobs/) and
+// temp files orphaned by a crash mid-Put are excluded.
+func (s *Store) Entries() (int, error) {
+	tops, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, top := range tops {
+		if !top.IsDir() || !isHexShard(top.Name()) {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, top.Name()))
+		if err != nil {
+			return 0, err
+		}
+		for _, f := range files {
+			if !f.IsDir() && !strings.Contains(f.Name(), ".tmp") {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// isHexShard reports whether name is a two-character lowercase-hex shard
+// directory of the store layout.
+func isHexShard(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		c := name[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteFileAtomic writes data to path through a same-directory temp file
+// and rename, so concurrent readers never observe a partial file and a
+// crash leaves either the old content or the new, never a torn write. It is
+// also used directly for sweep-job checkpoints (internal/server), which
+// need the same all-or-nothing property.
+func WriteFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
