@@ -2,6 +2,7 @@ package dpcpp
 
 import (
 	"math/rand"
+	"time"
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/audit"
@@ -264,7 +265,26 @@ type (
 	// ResultStore is the on-disk content-addressed result store backing
 	// the server's in-memory cache across restarts (ServerConfig.StoreDir).
 	ResultStore = store.Store
+	// StoreBreaker is the circuit breaker guarding all store I/O: after a
+	// threshold of consecutive errors the service stops touching the disk
+	// and serves from compute alone, probing periodically until it heals.
+	// Its state is surfaced via /healthz and ServerMetrics.StoreState.
+	StoreBreaker = store.Breaker
+	// StoreHooks are fault-injection points (read/write/rename) for
+	// exercising the service's crash and I/O-error paths in tests.
+	StoreHooks = store.Hooks
 )
+
+// ErrTornWrite, returned from a StoreHooks.BeforeRename hook, simulates a
+// torn write: data written and success reported, but the rename that would
+// commit it never happens — the crash-after-ack case.
+var ErrTornWrite = store.ErrTornWrite
+
+// NewStoreBreaker returns a closed circuit breaker that opens after
+// threshold consecutive errors and admits one probe per probe interval.
+func NewStoreBreaker(threshold int, probe time.Duration) *StoreBreaker {
+	return store.NewBreaker(threshold, probe)
+}
 
 // NewServer builds the analysis service: content-addressed result caching
 // keyed by TasksetHash (optionally persisted across restarts via

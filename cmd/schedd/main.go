@@ -15,7 +15,16 @@
 // With -store-dir set, analysis results persist in an on-disk
 // content-addressed store (restarts keep the cache warm) and sweep jobs
 // checkpoint per-point progress there; a restarted daemon resumes
-// unfinished sweeps unless -resume=false.
+// unfinished sweeps unless -resume=false. A failing store trips a circuit
+// breaker (-store-breaker-threshold consecutive errors) and the daemon
+// keeps serving from memory — degraded, not down; /healthz reports the
+// state and -store-breaker-probe paces recovery probes.
+//
+// Time bounds: -read-timeout and -idle-timeout harden the listener against
+// slow-loris clients, -write-deadline bounds each response write (streams
+// re-arm it per line, so long curves still flow), and -request-timeout
+// caps one request's analysis latency (0 = unbounded; requests can always
+// set their own timeout_ms).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // complete (bounded by -shutdown-timeout), new connections are refused,
@@ -57,18 +66,34 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		storeDir    = fs.String("store-dir", "", "persistent result store + sweep-job checkpoints (empty = in-memory only)")
 		resume      = fs.Bool("resume", true, "resume unfinished checkpointed sweep jobs from -store-dir at startup")
 		shutTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
+
+		reqTimeout    = fs.Duration("request-timeout", 0, "per-request analysis deadline; past it the request gets a structured 503 timeout (0 = unbounded)")
+		readTimeout   = fs.Duration("read-timeout", time.Minute, "full-request read deadline (slow-loris protection)")
+		idleTimeout   = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection deadline")
+		writeDeadline = fs.Duration("write-deadline", server.DefaultWriteDeadline, "per-write response deadline; NDJSON streams re-arm it per line")
+
+		brThreshold = fs.Int("store-breaker-threshold", server.DefaultBreakerThreshold, "consecutive store failures that open the circuit breaker (degraded mode)")
+		brProbe     = fs.Duration("store-breaker-probe", server.DefaultBreakerProbe, "recovery-probe interval while the store breaker is open")
+		ckSync      = fs.Bool("checkpoint-sync", true, "fsync sweep-job checkpoint writes (cache entries never sync)")
+		faultWrites = fs.Int("fault-writes", 0, "TESTING ONLY: fail the first N store writes with an injected I/O error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:       *workers,
-		CacheSize:     *cacheSize,
-		MaxBody:       *maxBody,
-		MaxQueue:      *maxQueue,
-		StoreDir:      *storeDir,
-		DisableResume: !*resume,
+		Workers:               *workers,
+		CacheSize:             *cacheSize,
+		MaxBody:               *maxBody,
+		MaxQueue:              *maxQueue,
+		RequestTimeout:        *reqTimeout,
+		WriteDeadline:         *writeDeadline,
+		StoreDir:              *storeDir,
+		DisableResume:         !*resume,
+		StoreBreakerThreshold: *brThreshold,
+		StoreBreakerProbe:     *brProbe,
+		DisableCheckpointSync: !*ckSync,
+		FaultWrites:           *faultWrites,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -76,8 +101,15 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	}
 	defer srv.Close()
 	hs := &http.Server{
-		Handler:           srv,
+		Handler: srv,
+		// ReadTimeout bounds the whole request read; bodies are small
+		// (taskset JSON), so a client that cannot finish one inside it is
+		// stalling, not slow. WriteTimeout stays 0 on purpose: the per-write
+		// deadlines set via http.ResponseController would be capped by it,
+		// and NDJSON streams must be able to outlive any fixed total bound.
+		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ln, err := net.Listen("tcp", *addr)

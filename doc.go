@@ -125,4 +125,33 @@
 // unfinished sweeps, re-running only incomplete points; sample seeds are
 // pure functions of (seed, scenario, point, sample), so a resumed sweep's
 // curves are byte-identical to an uninterrupted run's.
+//
+// # Robustness and the fault model
+//
+// The service assumes requests can outlive their clients and disks can
+// fail mid-write, and treats both as normal operation. Deadlines and
+// cancellation flow as context.Context from every handler through the
+// engine: a canceled request is abandoned before it takes a worker slot,
+// batch fan-outs stop admitting work once the client is gone, and a
+// coalesced waiter detaches without cancelling the computation other
+// requests share (the result still lands in the cache, so the client's
+// retry is a hit). Timed-out requests get a structured 503 rather than a
+// hung connection.
+//
+// The fault model for storage is crash/EIO: a write may fail before any
+// byte lands, or the process may die after data is written but before
+// the rename commits it (a torn write) — never silent corruption of
+// committed bytes. Store writes are atomic (temp file + rename, with
+// opt-in fsync of file and parent directory for checkpoints), so a torn
+// write leaves the previous committed state intact and resumed sweeps
+// stay byte-identical. All store I/O sits behind a circuit breaker:
+// consecutive errors open it and the daemon degrades to compute-only
+// service — nothing persists, everything still answers — probing the
+// disk periodically and resuming write-through when it heals. State
+// corrupted outside the protocol (a truncated checkpoint) fails exactly
+// the damaged job, never startup. These claims are executable:
+// store-level fault hooks inject EIO, ENOSPC-style and torn-write
+// failures, and a chaos suite drives randomized kill/restart cycles
+// against them in CI, asserting no panics, byte-identical recovered
+// curves, and corruption isolation.
 package dpcpp

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -142,15 +143,22 @@ func TestResultCacheCapacityFloor(t *testing.T) {
 
 func TestFlightGroupSequential(t *testing.T) {
 	var g flightGroup
+	ctx := context.Background()
 	calls := 0
-	v1, shared := g.do("k", func() *MethodResult { calls++; return &MethodResult{Rounds: 7} })
-	if shared || v1.Rounds != 7 || calls != 1 {
-		t.Fatalf("first do: shared=%v calls=%d", shared, calls)
+	v1, err, shared := g.do(ctx, "k", func(context.Context) (*MethodResult, error) {
+		calls++
+		return &MethodResult{Rounds: 7}, nil
+	})
+	if err != nil || shared || v1.Rounds != 7 || calls != 1 {
+		t.Fatalf("first do: err=%v shared=%v calls=%d", err, shared, calls)
 	}
 	// After completion the key is released: a later call runs again.
-	_, shared = g.do("k", func() *MethodResult { calls++; return &MethodResult{} })
-	if shared || calls != 2 {
-		t.Fatalf("second do: shared=%v calls=%d, want a fresh execution", shared, calls)
+	_, err, shared = g.do(ctx, "k", func(context.Context) (*MethodResult, error) {
+		calls++
+		return &MethodResult{}, nil
+	})
+	if err != nil || shared || calls != 2 {
+		t.Fatalf("second do: err=%v shared=%v calls=%d, want a fresh execution", err, shared, calls)
 	}
 }
 
@@ -160,21 +168,21 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	calls := 0
-	leaderFn := func() *MethodResult {
+	leaderFn := func(context.Context) (*MethodResult, error) {
 		close(started)
 		calls++
 		<-release
-		return &MethodResult{Rounds: 42}
+		return &MethodResult{Rounds: 42}, nil
 	}
 
 	var wg sync.WaitGroup
 	sharedCount := 0
 	var mu sync.Mutex
-	run := func(fn func() *MethodResult) {
+	run := func(fn func(context.Context) (*MethodResult, error)) {
 		defer wg.Done()
-		v, shared := g.do("k", fn)
-		if v.Rounds != 42 {
-			t.Errorf("wrong value %+v", v)
+		v, err, shared := g.do(context.Background(), "k", fn)
+		if err != nil || v.Rounds != 42 {
+			t.Errorf("wrong value %+v (err %v)", v, err)
 		}
 		mu.Lock()
 		if shared {
@@ -187,9 +195,9 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	<-started // leader registered and executing
 	for i := 0; i < n-1; i++ {
 		wg.Add(1)
-		go run(func() *MethodResult {
+		go run(func(context.Context) (*MethodResult, error) {
 			t.Error("follower fn executed: coalescing failed")
-			return &MethodResult{Rounds: 42}
+			return &MethodResult{Rounds: 42}, nil
 		})
 	}
 	// Release only once every follower has joined the in-flight call, so

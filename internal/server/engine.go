@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"strconv"
 	"sync/atomic"
 
@@ -36,7 +38,12 @@ type engine struct {
 	// are persisted so a restarted daemon keeps its cache warm. Store
 	// failures only degrade to recomputation (counted in storeErrors),
 	// never to request failures.
-	st     *store.Store
+	st *store.Store
+	// br gates every st access: after enough consecutive store failures it
+	// opens and requests skip the disk entirely — no per-request syscall
+	// penalty on a dead store — until a periodic probe succeeds. Nil (and
+	// permanently closed) without a store.
+	br     *store.Breaker
 	flight flightGroup
 	// slots bounds concurrently executing analyses to the worker count;
 	// queued counts admitted-but-unfinished jobs for backpressure.
@@ -53,6 +60,8 @@ type engine struct {
 	cacheMisses atomic.Int64
 	coalesced   atomic.Int64
 	rejected    atomic.Int64
+	canceled    atomic.Int64
+	deadlines   atomic.Int64
 	storeHits   atomic.Int64
 	storePuts   atomic.Int64
 	storeErrors atomic.Int64
@@ -64,31 +73,42 @@ type Metrics struct {
 	// Requests counts analysis-bearing requests only (/v1/analyze,
 	// /v1/analyze/batch, /v1/grid, POST /v1/sweeps) — liveness and metrics
 	// probes never inflate it.
-	Requests     int64 `json:"requests"`
-	Analyses     int64 `json:"analyses"`
-	CacheHits    int64 `json:"cache_hits"`
-	CacheMisses  int64 `json:"cache_misses"`
-	Coalesced    int64 `json:"coalesced"`
-	Rejected     int64 `json:"rejected"`
-	StoreHits    int64 `json:"store_hits"`
-	StorePuts    int64 `json:"store_puts"`
-	StoreErrors  int64 `json:"store_errors"`
-	QueuedJobs   int64 `json:"queued_jobs"`
-	CacheEntries int64 `json:"cache_entries"`
-	Workers      int   `json:"workers"`
+	Requests    int64 `json:"requests"`
+	Analyses    int64 `json:"analyses"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Rejected    int64 `json:"rejected"`
+	// Canceled counts analyses abandoned because the client went away;
+	// DeadlineExceeded those cut off by -request-timeout or a request's
+	// timeout_ms. Both free their worker slot / queue position.
+	Canceled         int64 `json:"canceled"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	StoreHits        int64 `json:"store_hits"`
+	StorePuts        int64 `json:"store_puts"`
+	StoreErrors      int64 `json:"store_errors"`
+	// StoreState is the store circuit breaker's state (closed / open /
+	// half-open; empty without a store); StoreTrips counts how many times
+	// it has opened.
+	StoreState   string `json:"store_state,omitempty"`
+	StoreTrips   int64  `json:"store_trips"`
+	QueuedJobs   int64  `json:"queued_jobs"`
+	CacheEntries int64  `json:"cache_entries"`
+	Workers      int    `json:"workers"`
 	// Sweep-job gauges/counters (see jobs.go).
 	SweepsSubmitted int64 `json:"sweeps_submitted"`
 	SweepsCompleted int64 `json:"sweeps_completed"`
 	SweepsActive    int64 `json:"sweeps_active"`
 }
 
-func newEngine(workers, cacheSize int, maxQueue int64, st *store.Store) *engine {
+func newEngine(workers, cacheSize int, maxQueue int64, st *store.Store, br *store.Breaker) *engine {
 	workers = experiments.Workers(workers)
 	return &engine{
 		workers:  workers,
 		maxQueue: maxQueue,
 		cache:    newLRU[*MethodResult](cacheSize),
 		st:       st,
+		br:       br,
 		slots:    make(chan struct{}, workers),
 		testFn:   analysis.Test,
 	}
@@ -130,8 +150,15 @@ func cacheKey(h model.Hash, m analysis.Method, opts analysis.Options, explain bo
 // one analysis (singleflight) which runs on a bounded worker slot; the
 // result is cached before any waiter wakes. The cache-hit path performs no
 // analysis work and acquires no slot.
-func (e *engine) analyze(h model.Hash, ts *model.Taskset, m analysis.Method,
-	opts analysis.Options, explain bool) *MethodResult {
+//
+// ctx bounds this caller's wait, not the shared computation: when ctx ends
+// while the caller is queued for a worker slot or coalesced onto another
+// caller's flight, analyze returns ctx's error immediately and the
+// caller's slot claim is released — a disconnected client frees its worker
+// slot. An analysis that already started runs to completion and lands in
+// the cache even if every client that wanted it has gone.
+func (e *engine) analyze(ctx context.Context, h model.Hash, ts *model.Taskset,
+	m analysis.Method, opts analysis.Options, explain bool) (*MethodResult, error) {
 
 	// Only DPCP-p-EP ever carries a breakdown, so the explain flag must
 	// not fork the cache key (or re-run the analysis) of any other method.
@@ -139,25 +166,31 @@ func (e *engine) analyze(h model.Hash, ts *model.Taskset, m analysis.Method,
 	key := cacheKey(h, m, opts, explain)
 	if v, ok := e.cache.get(key); ok {
 		e.cacheHits.Add(1)
-		return v
+		return v, nil
 	}
 	e.cacheMisses.Add(1)
-	v, shared := e.flight.do(key, func() *MethodResult {
+	v, err, shared := e.flight.do(ctx, key, func(fctx context.Context) (*MethodResult, error) {
 		// A racing flight may have completed — and cached — between this
 		// caller's cache miss and registering the flight; re-check before
 		// paying for a worker slot, so duplicate analyses are impossible,
 		// not merely unlikely.
 		if v, ok := e.cache.get(key); ok {
-			return v
+			return v, nil
 		}
 		// The persistent store is the next layer down: a result computed in
 		// a previous process lifetime costs a disk read, not an analysis or
 		// a worker slot.
 		if mr := e.storeGet(key); mr != nil {
 			e.cache.add(key, mr)
-			return mr
+			return mr, nil
 		}
-		e.slots <- struct{}{}
+		select {
+		case e.slots <- struct{}{}:
+		case <-fctx.Done():
+			// Every caller abandoned before a worker slot freed up;
+			// nothing was computed, so there is nothing to cache.
+			return nil, fctx.Err()
+		}
 		defer func() { <-e.slots }()
 		e.analyses.Add(1)
 		res := e.testFn(m, ts, opts)
@@ -176,12 +209,25 @@ func (e *engine) analyze(h model.Hash, ts *model.Taskset, m analysis.Method,
 		}
 		e.cache.add(key, mr)
 		e.storePut(key, mr)
-		return mr
+		return mr, nil
 	})
 	if shared {
 		e.coalesced.Add(1)
 	}
-	return v
+	if err != nil {
+		e.noteAbort(err)
+		return nil, err
+	}
+	return v, nil
+}
+
+// noteAbort counts an abandoned analyze call by cause.
+func (e *engine) noteAbort(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.deadlines.Add(1)
+	} else {
+		e.canceled.Add(1)
+	}
 }
 
 // cachedAll returns every requested method's result when all of them are
@@ -205,13 +251,14 @@ func (e *engine) cachedAll(h model.Hash, ms []analysis.Method,
 }
 
 // storeGet fetches and decodes a persisted result (nil on miss, on a
-// disabled store, or on any store failure — failures degrade to
-// recomputation).
+// disabled store, on an open breaker, or on any store failure — failures
+// degrade to recomputation).
 func (e *engine) storeGet(key string) *MethodResult {
-	if e.st == nil {
+	if e.st == nil || !e.br.Allow() {
 		return nil
 	}
 	data, ok, err := e.st.Get(key)
+	e.br.Record(err)
 	if err != nil {
 		e.storeErrors.Add(1)
 		return nil
@@ -221,6 +268,7 @@ func (e *engine) storeGet(key string) *MethodResult {
 	}
 	var mr MethodResult
 	if err := json.Unmarshal(data, &mr); err != nil {
+		// The disk worked; the entry is corrupt. Not a breaker signal.
 		e.storeErrors.Add(1)
 		return nil
 	}
@@ -228,14 +276,17 @@ func (e *engine) storeGet(key string) *MethodResult {
 	return &mr
 }
 
-// storePut persists a fresh result; failures are counted, never surfaced.
+// storePut persists a fresh result; failures are counted, never surfaced,
+// and an open breaker skips the write entirely (the result stays in the
+// LRU and is recomputable).
 func (e *engine) storePut(key string, mr *MethodResult) {
-	if e.st == nil {
+	if e.st == nil || !e.br.Allow() {
 		return
 	}
 	data, err := json.Marshal(mr)
 	if err == nil {
 		err = e.st.Put(key, data)
+		e.br.Record(err)
 	}
 	if err != nil {
 		e.storeErrors.Add(1)
@@ -248,17 +299,21 @@ func (e *engine) storePut(key string, mr *MethodResult) {
 // counters on top (Server.Metrics).
 func (e *engine) snapshot() Metrics {
 	return Metrics{
-		Requests:     e.requests.Load(),
-		Analyses:     e.analyses.Load(),
-		CacheHits:    e.cacheHits.Load(),
-		CacheMisses:  e.cacheMisses.Load(),
-		Coalesced:    e.coalesced.Load(),
-		Rejected:     e.rejected.Load(),
-		StoreHits:    e.storeHits.Load(),
-		StorePuts:    e.storePuts.Load(),
-		StoreErrors:  e.storeErrors.Load(),
-		QueuedJobs:   e.queued.Load(),
-		CacheEntries: e.cache.entries(),
-		Workers:      e.workers,
+		Requests:         e.requests.Load(),
+		Analyses:         e.analyses.Load(),
+		CacheHits:        e.cacheHits.Load(),
+		CacheMisses:      e.cacheMisses.Load(),
+		Coalesced:        e.coalesced.Load(),
+		Rejected:         e.rejected.Load(),
+		Canceled:         e.canceled.Load(),
+		DeadlineExceeded: e.deadlines.Load(),
+		StoreHits:        e.storeHits.Load(),
+		StorePuts:        e.storePuts.Load(),
+		StoreErrors:      e.storeErrors.Load(),
+		StoreState:       e.br.State(),
+		StoreTrips:       e.br.Trips(),
+		QueuedJobs:       e.queued.Load(),
+		CacheEntries:     e.cache.entries(),
+		Workers:          e.workers,
 	}
 }

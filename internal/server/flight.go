@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup coalesces concurrent duplicate work: all callers that ask
 // for the same key while one computation is in flight block on that one
@@ -8,8 +11,18 @@ import "sync"
 // cache key, N concurrent identical analyze requests cost exactly one
 // analysis — the acceptance invariant the coalescing test pins.
 //
+// Cancellation is per-caller, not per-computation: the computation runs on
+// its own goroutine under a flight-owned context, so a waiter whose
+// request context ends abandons the flight immediately — freeing its
+// handler goroutine — without cancelling the shared work, and the result
+// still lands in the cache for the next caller. Only when every attached
+// caller has abandoned is the flight context cancelled, which lets a
+// computation nobody is waiting for stop at its next cancellation point
+// (worker-slot acquisition) instead of burning a slot on a verdict no one
+// will read.
+//
 // This is a minimal singleflight (the x/sync dependency is deliberately
-// avoided): no panic forwarding — fn must not panic, which engine.Analyze
+// avoided): no panic forwarding — fn must not panic, which engine.analyze
 // guarantees by validating tasksets before any flight starts.
 type flightGroup struct {
 	mu sync.Mutex
@@ -19,35 +32,68 @@ type flightGroup struct {
 type flightCall struct {
 	done chan struct{}
 	val  *MethodResult
+	err  error
 	// waiters counts callers coalesced onto this execution (guarded by
 	// the group mutex); tests use it to prove all N callers overlapped.
 	waiters int
+	// refs counts attached callers including the initiator; when it drops
+	// to zero before the computation finishes, cancel fires.
+	refs   int
+	cancel context.CancelFunc
 }
 
-// do returns fn()'s result for key, executing fn at most once across all
-// concurrent callers with that key. shared reports whether this caller
-// received a result computed by another goroutine's call.
-func (g *flightGroup) do(key string, fn func() *MethodResult) (val *MethodResult, shared bool) {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flightCall)
-	}
-	if c, ok := g.m[key]; ok {
-		c.waiters++
-		g.mu.Unlock()
-		<-c.done
-		return c.val, true
-	}
-	c := &flightCall{done: make(chan struct{})}
-	g.m[key] = c
-	g.mu.Unlock()
+// do returns fn's result for key, executing fn at most once across all
+// concurrent callers with that key. fn runs on its own goroutine under a
+// flight-owned context (see the type comment); each caller waits for the
+// result or its own ctx, whichever ends first. shared reports whether this
+// caller attached to an execution started by another goroutine.
+func (g *flightGroup) do(ctx context.Context, key string,
+	fn func(context.Context) (*MethodResult, error)) (val *MethodResult, err error, shared bool) {
 
-	c.val = fn()
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.val, false
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flightCall)
+		}
+		c, ok := g.m[key]
+		if ok {
+			c.waiters++
+			c.refs++
+			shared = true
+		} else {
+			fctx, cancel := context.WithCancel(context.Background())
+			c = &flightCall{done: make(chan struct{}), refs: 1, cancel: cancel}
+			g.m[key] = c
+			go func() {
+				c.val, c.err = fn(fctx)
+				g.mu.Lock()
+				delete(g.m, key)
+				g.mu.Unlock()
+				close(c.done)
+				cancel()
+			}()
+		}
+		g.mu.Unlock()
+
+		select {
+		case <-c.done:
+			if c.err != nil && ctx.Err() == nil {
+				// The flight died because an earlier cohort abandoned it
+				// in the instant before this caller attached; this
+				// caller's context is still live, so start a fresh one.
+				continue
+			}
+			return c.val, c.err, shared
+		case <-ctx.Done():
+			g.mu.Lock()
+			c.refs--
+			if c.refs == 0 {
+				c.cancel()
+			}
+			g.mu.Unlock()
+			return nil, ctx.Err(), shared
+		}
+	}
 }
 
 // waiting reports how many callers are coalesced onto the key's in-flight

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -34,6 +35,10 @@ const maxGridSamples = 10000
 //	seed      base seed (default 2020)
 //	methods   comma-separated method subset (default all)
 //	pathcap   EP path enumeration cap (default: analysis default)
+//	timeout_ms  optional stream budget in milliseconds; the server-wide
+//	          -request-timeout deliberately does not apply to grid streams
+//	          (long curves are legitimate), so only an explicit parameter
+//	          bounds one
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	s.engine.requests.Add(1)
 	q := r.URL.Query()
@@ -55,6 +60,11 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	pathCap, err := intParam(q.Get("pathcap"), 0)
 	if err != nil || pathCap < 0 {
 		writeError(w, http.StatusBadRequest, "invalid pathcap %q", q.Get("pathcap"))
+		return
+	}
+	timeoutMS, err := int64Param(q.Get("timeout_ms"), 0)
+	if err != nil || timeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "invalid timeout_ms %q", q.Get("timeout_ms"))
 		return
 	}
 	var methodNames []string
@@ -81,7 +91,8 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	// drains every index so admission accounting stays exact.
 	states := newSweepPointStates(len(points), len(ms))
 	done := make(chan int, len(points))
-	ctx := r.Context()
+	ctx, cancel := s.requestCtx(r, timeoutMS)
+	defer cancel()
 
 	go func() {
 		defer close(done)
@@ -92,7 +103,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 			Workers:  s.cfg.Workers,
 		}.Run(ctx,
 			func(pi, si int, ts *model.Taskset, genErr error) {
-				states[pi].analyze(s.engine, ts, genErr, ms, opts)
+				states[pi].analyze(ctx, s.engine, ts, genErr, ms, opts)
 			},
 			func(pi int, complete bool) { done <- pi })
 	}()
@@ -110,6 +121,14 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		if writeErr != nil {
 			continue
 		}
+		// A point whose in-flight analyses were abandoned (cancel/timeout
+		// mid-sample) holds an undercounted curve; never stream it.
+		if states[pi].aborted.Load() > 0 {
+			continue
+		}
+		// Each NDJSON line re-arms the write deadline: the stream may run
+		// for minutes, but any single stalled write still times out.
+		s.bumpWriteDeadline(w)
 		gp := states[pi].gridPoint(pi, points[pi], scen.M, ms)
 		if writeErr = enc.Encode(gp); writeErr != nil {
 			continue
@@ -119,6 +138,8 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		}
 		streamed++
 	}
+	// A timed-out or canceled stream ends without the GridDone line —
+	// truncation is the signal clients key on.
 	if ctx.Err() == nil && writeErr == nil {
 		enc.Encode(GridDone{Done: true, Points: streamed})
 	}
@@ -130,6 +151,14 @@ type sweepPointState struct {
 	accepted []atomic.Int64 // indexed like the method slice
 	genFail  atomic.Int64
 	total    atomic.Int64
+	// aborted counts samples whose analysis was abandoned (context
+	// canceled or deadline exceeded mid-flight). Any aborted sample makes
+	// the point's counts undercounted, so consumers must treat the point
+	// as incomplete: the grid stream skips it and the sweep-job runner
+	// refuses to checkpoint it — otherwise a canceled last sample could
+	// freeze a wrong curve into a checkpoint and break byte-identical
+	// resume.
+	aborted atomic.Int64
 }
 
 func newSweepPointStates(points, methods int) []sweepPointState {
@@ -141,9 +170,11 @@ func newSweepPointStates(points, methods int) []sweepPointState {
 }
 
 // analyze folds one sample into the point: every requested method's verdict
-// for the generated taskset, or a generation failure.
-func (st *sweepPointState) analyze(e *engine, ts *model.Taskset, genErr error,
-	ms []analysis.Method, opts analysis.Options) {
+// for the generated taskset, or a generation failure. An engine error (the
+// context ended while this sample's analysis was queued) marks the point
+// aborted instead of silently dropping a verdict.
+func (st *sweepPointState) analyze(ctx context.Context, e *engine, ts *model.Taskset,
+	genErr error, ms []analysis.Method, opts analysis.Options) {
 
 	if genErr != nil {
 		st.genFail.Add(1)
@@ -151,7 +182,12 @@ func (st *sweepPointState) analyze(e *engine, ts *model.Taskset, genErr error,
 	}
 	h := ts.Hash()
 	for mi, m := range ms {
-		if e.analyze(h, ts, m, opts, false).Schedulable {
+		mr, err := e.analyze(ctx, h, ts, m, opts, false)
+		if err != nil {
+			st.aborted.Add(1)
+			return
+		}
+		if mr.Schedulable {
 			st.accepted[mi].Add(1)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -240,6 +241,10 @@ type jobRegistry struct {
 	srv     *Server
 	st      *store.Store // nil = in-memory only
 	jobsDir string
+	// sync selects durable (fsynced) checkpoint writes; on unless the
+	// operator opted out (Config.DisableCheckpointSync). Cache entries
+	// never sync — only checkpoints hold unrecoverable progress.
+	sync bool
 
 	mu    sync.Mutex
 	jobs  map[string]*sweepJob
@@ -260,6 +265,7 @@ func newJobRegistry(srv *Server, st *store.Store) (*jobRegistry, error) {
 	r := &jobRegistry{
 		srv:  srv,
 		st:   st,
+		sync: !srv.cfg.DisableCheckpointSync,
 		jobs: make(map[string]*sweepJob),
 		// A little headroom above the submission bound, so reloading a
 		// full queue plus the job that was running at crash time never
@@ -286,8 +292,10 @@ func newJobRegistry(srv *Server, st *store.Store) (*jobRegistry, error) {
 
 // load reloads checkpointed jobs after a restart. Finished jobs are listed
 // as-is; unfinished ones are re-queued (or paused when resume is
-// disabled). A checkpoint this binary cannot resolve is kept, marked
-// failed, rather than silently dropped.
+// disabled). A checkpoint this binary cannot resolve — or one whose file
+// is corrupted or unreadable — is kept as a failed job rather than
+// silently dropped, and never poisons the rest of startup: every other
+// checkpoint still loads and resumes.
 func (r *jobRegistry) load() error {
 	ents, err := os.ReadDir(r.jobsDir)
 	if err != nil {
@@ -298,28 +306,43 @@ func (r *jobRegistry) load() error {
 		if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(r.jobsDir, ent.Name()))
-		if err != nil {
-			// An unreadable, torn or foreign file is never fatal — the
-			// daemon must come up with whatever state is readable.
-			continue
+		// Reads go through the store so injected faults reach the startup
+		// path too.
+		data, err := r.st.ReadFile(filepath.Join(r.jobsDir, ent.Name()))
+		if err == nil {
+			j := &sweepJob{}
+			if uerr := json.Unmarshal(data, &j.cp); uerr != nil {
+				err = fmt.Errorf("corrupt checkpoint: %v", uerr)
+			} else if j.cp.ID == "" {
+				err = fmt.Errorf("corrupt checkpoint: missing job id")
+			} else {
+				loaded = append(loaded, j)
+				continue
+			}
 		}
-		j := &sweepJob{}
-		if err := json.Unmarshal(data, &j.cp); err != nil || j.cp.ID == "" {
-			continue
+		// Unreadable or corrupt. If the filename is ID-shaped, the job
+		// existed: surface it as failed (in memory only — the file on disk
+		// is left alone) instead of making it vanish. Foreign files and
+		// orphaned temp files are skipped silently; neither is fatal — the
+		// daemon must come up with whatever state is readable.
+		if id := strings.TrimSuffix(ent.Name(), ".json"); isSweepID(id) {
+			loaded = append(loaded, &sweepJob{cp: sweepCheckpoint{
+				ID:    id,
+				State: sweepFailed,
+				Error: fmt.Sprintf("unreadable checkpoint: %v", err),
+			}})
 		}
-		loaded = append(loaded, j)
 	}
 	sort.Slice(loaded, func(a, b int) bool { return loaded[a].cp.Created < loaded[b].cp.Created })
 	for _, j := range loaded {
-		if err := j.resolve(); err != nil {
+		if err := j.resolve(); err != nil && j.cp.State != sweepFailed {
 			j.cp.State = sweepFailed
 			j.cp.Error = fmt.Sprintf("unresolvable checkpoint: %v", err)
-			// resolve may have bailed before sizing Points; pad it so
-			// status()/results() can still render the failed job.
-			for len(j.cp.Points) < len(j.cp.Spec.Scenarios) {
-				j.cp.Points = append(j.cp.Points, nil)
-			}
+		}
+		// resolve may have bailed before sizing Points; pad it so
+		// status()/results() can still render the failed job.
+		for len(j.cp.Points) < len(j.cp.Spec.Scenarios) {
+			j.cp.Points = append(j.cp.Points, nil)
 		}
 		switch j.cp.State {
 		case sweepDone, sweepFailed:
@@ -467,13 +490,16 @@ func (r *jobRegistry) runJob(j *sweepJob) {
 			Workers:  r.srv.cfg.Workers,
 		}.Run(ctx,
 			func(pi, _ int, ts *model.Taskset, genErr error) {
-				states[pi].analyze(r.srv.engine, ts, genErr, j.ms, j.opts)
+				states[pi].analyze(ctx, r.srv.engine, ts, genErr, j.ms, j.opts)
 			},
 			func(pi int, complete bool) {
 				// An incomplete point (cancellation mid-point) is never
 				// checkpointed: the next run re-draws all of its samples,
-				// which SampleSeed makes bit-identical.
-				if !complete {
+				// which SampleSeed makes bit-identical. A point whose last
+				// sample "ran" but whose analysis was abandoned mid-flight
+				// is just as incomplete — freezing its undercounted curve
+				// into the checkpoint would break that guarantee.
+				if !complete || states[pi].aborted.Load() > 0 {
 					return
 				}
 				gp := states[pi].gridPoint(pi, utils[pi], j.scens[si].M, j.ms)
@@ -512,7 +538,11 @@ func (r *jobRegistry) runJob(j *sweepJob) {
 
 // checkpoint persists the job's current state (no-op without a store).
 // Failures are counted as store errors and otherwise ignored: an
-// unwritable disk degrades durability, not service.
+// unwritable disk degrades durability, not service. Forced checkpoints
+// write even under an open circuit breaker — scenario/state boundaries are
+// exactly where a retry against a recovered disk is worth one syscall —
+// and feed the outcome back into the breaker (a success closes it; a
+// failure while open changes nothing, so forced flushes never thrash it).
 func (r *jobRegistry) checkpoint(j *sweepJob) {
 	if r.st == nil {
 		return
@@ -529,6 +559,10 @@ func (r *jobRegistry) checkpoint(j *sweepJob) {
 // complete per second, and re-marshaling the whole job for each would make
 // checkpoint I/O the bottleneck. Skipped progress is bounded by the
 // forced writes at scenario/state boundaries and by resume determinism.
+// Under an open circuit breaker, per-point checkpoints degrade to
+// in-memory progress (no doomed syscall per point) — except the breaker's
+// periodic recovery probe, which one checkpoint carries like any other
+// store access.
 func (r *jobRegistry) checkpointThrottled(j *sweepJob) {
 	if r.st == nil {
 		return
@@ -536,6 +570,9 @@ func (r *jobRegistry) checkpointThrottled(j *sweepJob) {
 	j.ckmu.Lock()
 	defer j.ckmu.Unlock()
 	if time.Since(j.lastCk) < sweepCheckpointEvery {
+		return
+	}
+	if !r.srv.engine.br.Allow() {
 		return
 	}
 	r.checkpointLocked(j)
@@ -553,7 +590,8 @@ func (r *jobRegistry) checkpointLocked(j *sweepJob) {
 	id := j.cp.ID
 	j.mu.Unlock()
 	if err == nil {
-		err = store.WriteFileAtomic(filepath.Join(r.jobsDir, id+".json"), data)
+		err = r.st.WriteFile(filepath.Join(r.jobsDir, id+".json"), data, r.sync)
+		r.srv.engine.br.Record(err)
 	}
 	if err != nil {
 		r.srv.engine.storeErrors.Add(1)
@@ -621,6 +659,22 @@ func newSweepID() string {
 		panic(err) // crypto/rand never fails on supported platforms
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// isSweepID reports whether s has the shape newSweepID produces (16
+// lowercase hex characters) — how load distinguishes a job's damaged
+// checkpoint from a foreign file.
+func isSweepID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // handleSweepSubmit accepts a sweep campaign and returns its job ID

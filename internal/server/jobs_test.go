@@ -264,6 +264,15 @@ func TestSweepResumeDisabled(t *testing.T) {
 	if st.State != sweepPaused {
 		t.Fatalf("state %q, want %q", st.State, sweepPaused)
 	}
+	// Paused is not broken: the job's partial results stay servable, with
+	// the state telling the client nothing more is coming on this daemon.
+	var res SweepResults
+	if code := sweepGet(t, b, "/v1/sweeps/"+id+"/results", &res); code != http.StatusOK {
+		t.Fatalf("paused job results: %d, want 200", code)
+	}
+	if res.State != sweepPaused || len(res.Scenarios) != 1 {
+		t.Fatalf("paused results %+v", res)
+	}
 }
 
 // TestStoreWarmAcrossRestart: results computed by one server are served

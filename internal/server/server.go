@@ -33,18 +33,34 @@
 //	GET  /v1/sweeps/{id}/results  completed acceptance curves
 //	DELETE /v1/sweeps/{id}  cancel and forget a sweep job
 //	GET  /v1/metrics        cache/coalescing/admission/store counters
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness (200 even when degraded; see body)
+//
+// # Deadlines and cancellation
+//
+// Every handler threads its request context through the engine: a client
+// that disconnects while its analysis is queued frees its worker slot and
+// queue claim immediately (counted in the canceled metric), and an
+// explicit budget — the server-wide Config.RequestTimeout or a request's
+// timeout_ms field, whichever is tighter — turns an overrunning analysis
+// into a structured 503 timeout verdict instead of an open-ended wait.
+// Coalesced waiters abandon without cancelling the shared computation, so
+// the result still lands in the cache for the next caller.
 //
 // # Durability
 //
 // With Config.StoreDir set, results write through to an on-disk
 // content-addressed store (internal/store) and sweep jobs checkpoint their
 // per-point progress, so a restarted daemon keeps its cache warm and
-// resumes unfinished sweeps instead of dropping them (see jobs.go).
+// resumes unfinished sweeps instead of dropping them (see jobs.go). Store
+// access sits behind a circuit breaker: a failing disk opens it after
+// Config.StoreBreakerThreshold consecutive errors, requests skip the disk
+// and recompute (degraded mode, surfaced via /healthz and /v1/metrics),
+// and a periodic probe closes it when the disk recovers.
 package server
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -52,6 +68,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
@@ -63,6 +80,17 @@ import (
 const (
 	DefaultCacheSize = 4096
 	DefaultMaxBody   = 8 << 20 // 8 MiB of taskset JSON
+	// DefaultBreakerThreshold is the consecutive store failures that open
+	// the circuit breaker; DefaultBreakerProbe how often an open breaker
+	// admits one recovery probe.
+	DefaultBreakerThreshold = 8
+	DefaultBreakerProbe     = 5 * time.Second
+	// DefaultWriteDeadline is the per-write-operation deadline applied via
+	// http.ResponseController: each response write (and each NDJSON line
+	// of a stream) must complete within it, so a stalled reader cannot pin
+	// a connection while arbitrarily long streams stay alive as long as
+	// they make progress.
+	DefaultWriteDeadline = time.Minute
 )
 
 // Config tunes a Server.
@@ -80,6 +108,14 @@ type Config struct {
 	// non-retryable 400 (<= 0 = max(1024 * workers, 65536), large enough
 	// that every documented grid/batch request fits on a 1-core host).
 	MaxQueue int
+	// RequestTimeout bounds the analysis latency of one /v1/analyze or
+	// /v1/analyze/batch request; past it the request gets a structured 503
+	// timeout verdict and its queued work is abandoned. 0 disables the
+	// server-wide bound (a request's timeout_ms still applies).
+	RequestTimeout time.Duration
+	// WriteDeadline is the per-write deadline for response writes
+	// (<= 0 = 1 minute); see DefaultWriteDeadline.
+	WriteDeadline time.Duration
 	// StoreDir, when non-empty, roots the persistent layer: an on-disk
 	// content-addressed result store backing the in-memory LRU, plus the
 	// sweep-job checkpoints under StoreDir/jobs. Empty disables
@@ -90,6 +126,25 @@ type Config struct {
 	// found in StoreDir/jobs at startup (they remain listed, paused, until
 	// a daemon with resume enabled picks them up).
 	DisableResume bool
+	// StoreBreakerThreshold is the consecutive store failures that open
+	// the store circuit breaker (<= 0 = 8); StoreBreakerProbe is the
+	// interval between recovery probes while open (<= 0 = 5s).
+	StoreBreakerThreshold int
+	StoreBreakerProbe     time.Duration
+	// DisableCheckpointSync turns off the fsync on sweep-job checkpoint
+	// writes. Cache entries never sync (they are recomputable); checkpoint
+	// sync is on by default because losing a checkpoint discards progress.
+	DisableCheckpointSync bool
+	// FaultWrites > 0 makes the store's first FaultWrites writes fail with
+	// a synthetic I/O error — built-in fault injection for chaos and smoke
+	// testing of degraded mode through the real binary. Never set it in
+	// production.
+	FaultWrites int
+
+	// storeHooks, when non-nil, is installed on the opened store before
+	// any checkpoint is read or written; the chaos suite schedules faults
+	// through it (package-internal, tests only).
+	storeHooks *store.Hooks
 }
 
 func (c Config) normalized() Config {
@@ -105,6 +160,15 @@ func (c Config) normalized() Config {
 		if c.MaxQueue < 65536 {
 			c.MaxQueue = 65536
 		}
+	}
+	if c.WriteDeadline <= 0 {
+		c.WriteDeadline = DefaultWriteDeadline
+	}
+	if c.StoreBreakerThreshold <= 0 {
+		c.StoreBreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.StoreBreakerProbe <= 0 {
+		c.StoreBreakerProbe = DefaultBreakerProbe
 	}
 	return c
 }
@@ -141,15 +205,23 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.normalized()
 	var st *store.Store
+	var br *store.Breaker
 	if cfg.StoreDir != "" {
 		var err error
 		if st, err = store.Open(cfg.StoreDir); err != nil {
 			return nil, err
 		}
+		switch {
+		case cfg.storeHooks != nil:
+			st.SetHooks(cfg.storeHooks)
+		case cfg.FaultWrites > 0:
+			st.SetHooks(failFirstWrites(cfg.FaultWrites))
+		}
+		br = store.NewBreaker(cfg.StoreBreakerThreshold, cfg.StoreBreakerProbe)
 	}
 	s := &Server{
 		cfg:    cfg,
-		engine: newEngine(cfg.Workers, cfg.CacheSize, int64(cfg.MaxQueue), st),
+		engine: newEngine(cfg.Workers, cfg.CacheSize, int64(cfg.MaxQueue), st, br),
 		mux:    http.NewServeMux(),
 		fast:   newLRU[fastResponse](cfg.CacheSize),
 	}
@@ -170,6 +242,22 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// failFirstWrites builds the Config.FaultWrites hook: the first n atomic
+// writes fail with a synthetic EIO-style error, later ones succeed.
+func failFirstWrites(n int) *store.Hooks {
+	var mu sync.Mutex
+	left := n
+	return &store.Hooks{BeforeWrite: func(path string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if left > 0 {
+			left--
+			return fmt.Errorf("injected write fault (%s): input/output error", path)
+		}
+		return nil
+	}}
+}
+
 // Close stops the sweep-job runner: the in-flight job stops at its next
 // point boundary, its progress is checkpointed (when a store is
 // configured), and Close returns once the runner has exited. In-flight
@@ -185,7 +273,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// input.
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	}
+	// One write deadline covers simple JSON responses; streaming handlers
+	// re-arm it per line so long streams stay alive while a stalled reader
+	// still cannot pin the connection (http.Server.WriteTimeout would kill
+	// both).
+	s.bumpWriteDeadline(w)
 	s.mux.ServeHTTP(w, r)
+}
+
+// bumpWriteDeadline extends the connection's write deadline by the
+// configured per-write budget. Unsupported writers (httptest recorders,
+// some middleware) are fine: the deadline is a hardening layer, not a
+// correctness dependency.
+func (s *Server) bumpWriteDeadline(w http.ResponseWriter) {
+	if s.cfg.WriteDeadline <= 0 {
+		return
+	}
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteDeadline))
 }
 
 // Metrics returns a snapshot of the service counters.
@@ -195,12 +300,57 @@ func (s *Server) Metrics() Metrics {
 	return m
 }
 
+// healthResponse is the body of GET /healthz. The endpoint stays 200 even
+// in degraded mode — the process is alive and serving; Degraded tells
+// operators (and load balancers that read bodies) that the persistent
+// store is being bypassed and durability is reduced.
+type healthResponse struct {
+	OK         bool   `json:"ok"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	StoreState string `json:"store_state,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	st := s.engine.br.State()
+	writeJSON(w, http.StatusOK, healthResponse{
+		OK:         true,
+		Degraded:   st == store.BreakerOpen || st == store.BreakerHalfOpen,
+		StoreState: st,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// requestCtx derives the analysis context of one request: the client's
+// context (so a disconnect cancels queued work) bounded by the tighter of
+// the server-wide RequestTimeout and the request's own timeout_ms.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if req := time.Duration(timeoutMS) * time.Millisecond; d <= 0 || req < d {
+			d = req
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// finishAnalysis maps an aborted analysis to its response: a deadline
+// overrun gets the structured 503 timeout verdict; a vanished client gets
+// nothing (there is no one to write to). Reports whether the handler
+// should continue with a successful response.
+func (s *Server) finishAnalysis(w http.ResponseWriter, err error) bool {
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeTimeout(w)
+	}
+	return false
 }
 
 // decodeBody decodes one JSON document into dst with the request-boundary
@@ -301,7 +451,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer s.engine.release(len(ms))
-		resp = s.analyzeOne(h, req.Taskset, ms, opts, req.Explain)
+		ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+		defer cancel()
+		var err error
+		resp, err = s.analyzeOne(ctx, h, req.Taskset, ms, opts, req.Explain)
+		if !s.finishAnalysis(w, err) {
+			return
+		}
 	}
 
 	out, err := json.Marshal(resp)
@@ -339,6 +495,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.engine.release(jobs)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
 
 	// Hash on the request goroutine (cheap), fan the analyses out over the
 	// shared pool primitive. Results land in per-index slots, so no
@@ -352,34 +510,59 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Results: make(map[string]*MethodResult, len(ms)),
 		}
 	}
-	var mu sync.Mutex // guards the per-taskset result maps
+	var mu sync.Mutex // guards the per-taskset result maps and firstErr
+	var firstErr error
 	experiments.ParallelFor(s.cfg.Workers, jobs, func(_, idx int) {
+		// A dead client stops admitting new analyses; already-drained jobs
+		// keep their results, the remainder drains cheaply.
+		if ctx.Err() != nil {
+			return
+		}
 		ti, mi := idx/len(ms), idx%len(ms)
-		mr := s.engine.analyze(hashes[ti], req.Tasksets[ti], ms[mi], opts, false)
+		mr, err := s.engine.analyze(ctx, hashes[ti], req.Tasksets[ti], ms[mi], opts, false)
 		mu.Lock()
-		resp.Results[ti].Results[string(ms[mi])] = mr
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			resp.Results[ti].Results[string(ms[mi])] = mr
+		}
 		mu.Unlock()
 	})
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	if !s.finishAnalysis(w, firstErr) {
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // analyzeOne runs the methods for one finalized, hashed taskset, fanning
-// out over the pool when more than one method was requested.
-func (s *Server) analyzeOne(h model.Hash, ts *model.Taskset, ms []analysis.Method,
-	opts analysis.Options, explain bool) *AnalyzeResponse {
+// out over the pool when more than one method was requested. The first
+// context error aborts the response (partial results are never served).
+func (s *Server) analyzeOne(ctx context.Context, h model.Hash, ts *model.Taskset,
+	ms []analysis.Method, opts analysis.Options, explain bool) (*AnalyzeResponse, error) {
 
 	resp := &AnalyzeResponse{
 		Hash:    h.String(),
 		Results: make(map[string]*MethodResult, len(ms)),
 	}
 	results := make([]*MethodResult, len(ms))
+	errs := make([]error, len(ms))
 	experiments.ParallelFor(len(ms), len(ms), func(_, i int) {
-		results[i] = s.engine.analyze(h, ts, ms[i], opts, explain)
+		results[i], errs[i] = s.engine.analyze(ctx, h, ts, ms[i], opts, explain)
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	for i, m := range ms {
 		resp.Results[string(m)] = results[i]
 	}
-	return resp
+	return resp, nil
 }
 
 // validateOptions resolves methods, path cap and placement, writing a 400
@@ -413,6 +596,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// writeTimeout emits the structured 503 timeout verdict: the analysis
+// overran its deadline and was abandoned; its work, if it had started,
+// still lands in the cache, so an immediate retry is likely to hit.
+func writeTimeout(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error:   "analysis deadline exceeded; retry may hit the cache",
+		Code:    http.StatusServiceUnavailable,
+		Timeout: true,
+	})
 }
 
 // admit reserves n analysis jobs, writing the appropriate rejection when

@@ -24,6 +24,11 @@ type AnalyzeRequest struct {
 	Placement string `json:"placement,omitempty"`
 	// Explain adds the Theorem 1 per-task breakdown to DPCP-p-EP results.
 	Explain bool `json:"explain,omitempty"`
+	// TimeoutMS bounds this request's analysis latency in milliseconds; the
+	// tighter of it and the server's -request-timeout applies. Past the
+	// bound the request gets a structured 503 with timeout=true and its
+	// queued work is abandoned (0 = no per-request bound).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/analyze/batch: many tasksets
@@ -33,6 +38,9 @@ type BatchRequest struct {
 	Methods   []string         `json:"methods,omitempty"`
 	PathCap   int              `json:"path_cap,omitempty"`
 	Placement string           `json:"placement,omitempty"`
+	// TimeoutMS bounds the whole batch's analysis latency in milliseconds
+	// (see AnalyzeRequest.TimeoutMS).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // MethodResult is one method's verdict for one taskset: the wire form of
@@ -162,10 +170,15 @@ type SweepResults struct {
 	Scenarios []SweepScenarioResult `json:"scenarios"`
 }
 
-// errorResponse is the structured body of every 4xx/5xx response.
+// errorResponse is the structured body of every 4xx/5xx response. Timeout
+// marks a 503 caused by an analysis deadline (server -request-timeout or
+// the request's timeout_ms) so clients can distinguish "overloaded, back
+// off" from "this exact request overran its budget; an immediate retry may
+// hit the cache".
 type errorResponse struct {
-	Error string `json:"error"`
-	Code  int    `json:"code"`
+	Error   string `json:"error"`
+	Code    int    `json:"code"`
+	Timeout bool   `json:"timeout,omitempty"`
 }
 
 // parseMethods validates and resolves a method-name list ([] = all five).

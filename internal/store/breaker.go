@@ -1,0 +1,131 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	BreakerClosed   = "closed"    // store healthy, all access allowed
+	BreakerOpen     = "open"      // store failing, access skipped
+	BreakerHalfOpen = "half-open" // one probe in flight to test recovery
+)
+
+// Breaker is a circuit breaker for store access. A Store failure never
+// fails a request — callers degrade to recomputation — but without a
+// breaker a dead disk still charges every request the latency of a doomed
+// syscall (and a hung NFS mount far worse). The breaker opens after
+// Threshold consecutive failures; while open, Allow returns false and
+// callers skip the store entirely. Every ProbeEvery one caller is admitted
+// as a half-open probe; its success closes the breaker, its failure
+// re-arms the probe timer.
+//
+// All methods are safe for concurrent use and safe on a nil receiver (a
+// nil Breaker is permanently closed), so callers without a store need no
+// branching.
+type Breaker struct {
+	threshold int
+	probe     time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu          sync.Mutex
+	open        bool
+	probing     bool // a half-open probe has been admitted and not yet recorded
+	consecutive int
+	nextProbe   time.Time
+	trips       int64
+}
+
+// NewBreaker returns a breaker that opens after threshold consecutive
+// recorded failures (minimum 1) and admits a recovery probe every probe
+// interval (minimum 1ms).
+func NewBreaker(threshold int, probe time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if probe < time.Millisecond {
+		probe = time.Millisecond
+	}
+	return &Breaker{threshold: threshold, probe: probe, now: time.Now}
+}
+
+// Allow reports whether the caller may touch the store. While open, it
+// admits exactly one caller per probe interval (the half-open probe); that
+// caller must Record its outcome, or the breaker stays open until the next
+// interval.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if !b.probing && !b.now().Before(b.nextProbe) {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record feeds one store operation's outcome into the breaker. A success
+// closes it from any state; a failure counts toward the threshold while
+// closed and re-arms the probe timer after a failed half-open probe.
+// Failures recorded while open but outside a probe (e.g. a forced
+// checkpoint flush) do not thrash the state.
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.open = false
+		b.probing = false
+		b.consecutive = 0
+		return
+	}
+	if b.open {
+		if b.probing {
+			b.probing = false
+			b.nextProbe = b.now().Add(b.probe)
+		}
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.open = true
+		b.probing = false
+		b.trips++
+		b.nextProbe = b.now().Add(b.probe)
+	}
+}
+
+// State returns the breaker's current state name ("" on a nil breaker).
+func (b *Breaker) State() string {
+	if b == nil {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return BreakerClosed
+	case b.probing:
+		return BreakerHalfOpen
+	default:
+		return BreakerOpen
+	}
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

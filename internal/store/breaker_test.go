@@ -1,0 +1,191 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is an injectable, manually advanced clock.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, probe time.Duration) (*Breaker, *testClock) {
+	clk := &testClock{t: time.Unix(1_700_000_000, 0)}
+	b := NewBreaker(threshold, probe)
+	b.now = clk.now
+	return b, clk
+}
+
+var errDisk = errors.New("disk on fire")
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker closed access after %d failures (threshold 3)", i)
+		}
+		b.Record(errDisk)
+		if b.State() != BreakerClosed {
+			t.Fatalf("state %q after %d failures", b.State(), i+1)
+		}
+	}
+	b.Record(errDisk) // third consecutive failure trips it
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %q after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed access before the probe interval")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	// Interleaved successes must keep a flaky-but-working store closed:
+	// the threshold counts consecutive failures only.
+	for i := 0; i < 10; i++ {
+		b.Record(errDisk)
+		b.Record(errDisk)
+		b.Record(nil)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q after interleaved successes, want closed", b.State())
+	}
+	if b.Trips() != 0 {
+		t.Fatalf("Trips = %d, want 0", b.Trips())
+	}
+}
+
+func TestBreakerProbeCycle(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Record(errDisk)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %q, want open", b.State())
+	}
+
+	// Before the interval: no access at all.
+	if b.Allow() {
+		t.Fatal("probe admitted before the interval")
+	}
+	clk.advance(time.Second)
+
+	// At the interval: exactly one caller gets through as the probe.
+	if !b.Allow() {
+		t.Fatal("probe not admitted at the interval")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %q during probe, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted during an in-flight probe")
+	}
+
+	// Failed probe: re-open, re-arm the timer.
+	b.Record(errDisk)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %q after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("access allowed right after a failed probe")
+	}
+
+	// Next interval, successful probe: closed, full service.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q after successful probe, want closed", b.State())
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker limited access")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1 (re-arming is not a new trip)", b.Trips())
+	}
+}
+
+// TestBreakerIgnoresFailuresWhileOpen: forced checkpoint flushes write even
+// under an open breaker; their failures must not re-arm the probe timer or
+// count as new trips, or a busy sweep would keep pushing the probe away.
+func TestBreakerIgnoresFailuresWhileOpen(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Record(errDisk)
+	clk.advance(900 * time.Millisecond)
+	b.Record(errDisk) // forced flush failed; not a probe
+	clk.advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("out-of-probe failure re-armed the probe timer")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+// TestBreakerForcedSuccessCloses: a forced (non-probe) write that succeeds
+// while the breaker is open proves the disk recovered; staying open would
+// be pure latency for no protection.
+func TestBreakerForcedSuccessCloses(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Hour)
+	b.Record(errDisk)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %q, want open", b.State())
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q after out-of-probe success, want closed", b.State())
+	}
+}
+
+func TestBreakerNilIsPermanentlyClosed(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker denied access")
+	}
+	b.Record(errDisk) // must not panic
+	if b.State() != "" || b.Trips() != 0 {
+		t.Fatalf("nil breaker state %q trips %d", b.State(), b.Trips())
+	}
+}
+
+func TestBreakerConcurrentAccess(t *testing.T) {
+	b := NewBreaker(4, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(fail bool) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if b.Allow() {
+					if fail {
+						b.Record(errDisk)
+					} else {
+						b.Record(nil)
+					}
+				}
+				_ = b.State()
+				_ = b.Trips()
+			}
+		}(i%2 == 0)
+	}
+	wg.Wait()
+}
