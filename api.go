@@ -40,6 +40,9 @@ type (
 	// sharing one per-resource request vector; the EP analysis consumes
 	// views, not concrete paths.
 	PathView = model.PathView
+	// ViewScratch is the reusable working memory of
+	// Task.EnumerateViewsScratch; see its ownership contract there.
+	ViewScratch = model.ViewScratch
 )
 
 // Time units re-exported for fixture building.
@@ -82,6 +85,20 @@ func Methods() []Method { return analysis.Methods() }
 
 // Test runs the full schedulability pipeline (partitioning + analysis).
 func Test(m Method, ts *Taskset, opts Options) Result { return analysis.Test(m, ts, opts) }
+
+// Scratch is the reusable working memory of the DPCP-p analyses; recycling
+// one across TestWith calls drives steady-state analysis allocations to
+// zero. One goroutine at a time per scratch.
+type Scratch = analysis.Scratch
+
+// NewScratch returns an empty analysis scratch for TestWith.
+func NewScratch() *Scratch { return analysis.NewScratch() }
+
+// TestWith is Test computing through a caller-recycled scratch (nil falls
+// back to a private one); the Result never references the scratch.
+func TestWith(sc *Scratch, m Method, ts *Taskset, opts Options) Result {
+	return analysis.TestWith(sc, m, ts, opts)
+}
 
 // Schedulable returns only the verdict of Test.
 func Schedulable(m Method, ts *Taskset, opts Options) bool {

@@ -44,6 +44,7 @@ func benchmarkFig(b *testing.B, sub string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var curve *experiments.Curve
 	for i := 0; i < b.N; i++ {
 		curve, err = benchCampaign(scen).Run()
@@ -80,6 +81,7 @@ func BenchmarkTables2and3(b *testing.B) {
 	for i := 0; i < len(full); i += 9 {
 		grid = append(grid, full[i])
 	}
+	b.ReportAllocs()
 	var g *experiments.GridResult
 	for i := 0; i < b.N; i++ {
 		var curves []*experiments.Curve
@@ -109,18 +111,24 @@ func BenchmarkTables2and3(b *testing.B) {
 // analysis precision and cost).
 func BenchmarkPathCap(b *testing.B) {
 	scen, _ := taskgen.Fig2Scenario("2a")
+	// Taskset synthesis happens once, outside the timed region: the
+	// benchmark measures the analysis, not the generator.
+	g := taskgen.NewGenerator(scen)
+	tasksets := make([]*Taskset, 0, 8)
+	for s := int64(0); s < 8; s++ {
+		ts, err := g.Taskset(rand.New(rand.NewSource(s)), 6.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasksets = append(tasksets, ts)
+	}
 	for _, cap := range []int{16, 256, 4096} {
 		b.Run(fmt.Sprintf("cap%d", cap), func(b *testing.B) {
+			b.ReportAllocs()
 			accepted := 0
 			tested := 0
 			for i := 0; i < b.N; i++ {
-				g := taskgen.NewGenerator(scen)
-				for s := int64(0); s < 8; s++ {
-					r := rand.New(rand.NewSource(s))
-					ts, err := g.Taskset(r, 6.0)
-					if err != nil {
-						b.Fatal(err)
-					}
+				for _, ts := range tasksets {
 					tested++
 					if analysis.Schedulable(analysis.DPCPpEP, ts, analysis.Options{PathCap: cap}) {
 						accepted++
@@ -136,20 +144,25 @@ func BenchmarkPathCap(b *testing.B) {
 // ablation on the heavy-contention scenario.
 func BenchmarkPlacementHeuristic(b *testing.B) {
 	scen, _ := taskgen.Fig2Scenario("2b")
+	// As in BenchmarkPathCap, synthesis stays outside the timed region.
+	g := taskgen.NewGenerator(scen)
+	tasksets := make([]*Taskset, 0, 8)
+	for s := int64(0); s < 8; s++ {
+		ts, err := g.Taskset(rand.New(rand.NewSource(s)), 4.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasksets = append(tasksets, ts)
+	}
 	for _, h := range []struct {
 		name string
 		ph   partition.PlacementHeuristic
 	}{{"WFD", partition.WFD}, {"FFD", partition.FFD}} {
 		b.Run(h.name, func(b *testing.B) {
+			b.ReportAllocs()
 			accepted, tested := 0, 0
 			for i := 0; i < b.N; i++ {
-				g := taskgen.NewGenerator(scen)
-				for s := int64(0); s < 8; s++ {
-					r := rand.New(rand.NewSource(s))
-					ts, err := g.Taskset(r, 4.0)
-					if err != nil {
-						b.Fatal(err)
-					}
+				for _, ts := range tasksets {
 					tested++
 					if analysis.Schedulable(analysis.DPCPpEP, ts,
 						analysis.Options{Placement: h.ph}) {
@@ -163,7 +176,9 @@ func BenchmarkPlacementHeuristic(b *testing.B) {
 }
 
 // BenchmarkAnalysisMethods measures the per-taskset cost of each
-// schedulability test on a Fig. 2(a) workload.
+// schedulability test on a Fig. 2(a) workload, through the production
+// scratch-recycling path (analysis.TestWith) exactly as the experiment
+// worker pool and the server engine run it — steady-state, warm scratch.
 func BenchmarkAnalysisMethods(b *testing.B) {
 	scen, _ := taskgen.Fig2Scenario("2a")
 	g := taskgen.NewGenerator(scen)
@@ -173,8 +188,12 @@ func BenchmarkAnalysisMethods(b *testing.B) {
 	}
 	for _, m := range analysis.Methods() {
 		b.Run(string(m), func(b *testing.B) {
+			b.ReportAllocs()
+			sc := analysis.NewScratch()
+			analysis.TestWith(sc, m, ts, analysis.Options{}) // warm the arenas
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				analysis.Test(m, ts, analysis.Options{})
+				analysis.TestWith(sc, m, ts, analysis.Options{})
 			}
 		})
 	}
@@ -205,6 +224,7 @@ func BenchmarkSimulator(b *testing.B) {
 			horizon = t.Period
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var m sim.Metrics
 	for i := 0; i < b.N; i++ {
@@ -243,6 +263,7 @@ type TasksetAlias = Taskset
 func BenchmarkTaskGeneration(b *testing.B) {
 	scen, _ := taskgen.Fig2Scenario("2d") // hardest constraints
 	g := taskgen.NewGenerator(scen)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := rand.New(rand.NewSource(int64(i)))
 		if _, err := g.Taskset(r, 16.0); err != nil {
@@ -277,16 +298,19 @@ func BenchmarkPathEnumeration(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("count", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			task.CountPaths()
 		}
 	})
 	b.Run("bounds-dp", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			task.ComputePathBounds()
 		}
 	})
 	b.Run("enumerate-16k", func(b *testing.B) {
+		b.ReportAllocs()
 		var views []PathView
 		for i := 0; i < b.N; i++ {
 			var ok bool
@@ -296,7 +320,20 @@ func BenchmarkPathEnumeration(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(views)), "views")
 	})
+	b.Run("enumerate-16k-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		var vs ViewScratch
+		var views []PathView
+		for i := 0; i < b.N; i++ {
+			var ok bool
+			if views, ok = task.EnumerateViewsScratch(1<<14, &vs); !ok {
+				b.Fatal("cap exceeded unexpectedly")
+			}
+		}
+		b.ReportMetric(float64(len(views)), "views")
+	})
 	b.Run("enumerate-16k-legacy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, ok := task.EnumeratePaths(1 << 14); !ok {
 				b.Fatal("cap exceeded unexpectedly")
@@ -316,6 +353,7 @@ func BenchmarkGridSweep(b *testing.B) {
 		grid = append(grid, full[i])
 	}
 	tmpl := experiments.Campaign{TasksetsPerPoint: 2, Seed: 2020}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunGrid(tmpl, grid); err != nil {
 			b.Fatal(err)

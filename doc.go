@@ -126,6 +126,27 @@
 // pure functions of (seed, scenario, point, sample), so a resumed sweep's
 // curves are byte-identical to an uninterrupted run's.
 //
+// # Scratch arenas and memory ownership
+//
+// Analysis at sweep scale is allocation-bound, so the hot path computes
+// through reusable scratch memory with three rules:
+//
+//   - A Scratch (NewScratch, threaded via TestWith) serves one goroutine
+//     at a time. The experiments pool and the server keep one per worker;
+//     ad-hoc callers may share one across sequential analyses of any
+//     number of tasksets.
+//   - Results returned by Test/TestWith are always scratch-independent:
+//     they own their memory and may be retained while the scratch moves
+//     on. Internal borrowers are scoped instead — an analyzer's WCRTs map
+//     is valid until its next WCRTs call, model.EnumerateViewsScratch's
+//     views until the next call on the same ViewScratch — and every such
+//     lifetime is documented at the API returning it.
+//   - Steady state allocates nothing: arenas grow to a high-water mark
+//     and are reset, not freed, between tasks and tasksets. This is
+//     pinned by AllocsPerRun tests and by the committed benchmark
+//     snapshots (BENCH_<pr>.json) that the CI bench gate enforces; see
+//     the README's Performance section and cmd/benchgate.
+//
 // # Robustness and the fault model
 //
 // The service assumes requests can outlive their clients and disks can

@@ -59,11 +59,24 @@ func (o Options) pathCap() int {
 // assignment (with resource placement for DPCP-p) plus the method's
 // response-time analysis, returning the partitioning result.
 func Test(m Method, ts *model.Taskset, opts Options) partition.Result {
+	return TestWith(nil, m, ts, opts)
+}
+
+// TestWith is Test computing through a caller-recycled Scratch (nil falls
+// back to a private one). Repeated analyses on one scratch — the
+// steady-state of a grid sweep — reuse every arena and map the hot path
+// touches, so an EN or EP taskset test settles at (near-)zero allocations.
+// The Result is entirely scratch-independent: it may be retained while the
+// scratch moves on to the next taskset. A Scratch serves one goroutine at a
+// time.
+func TestWith(sc *Scratch, m Method, ts *model.Taskset, opts Options) partition.Result {
 	switch m {
-	case DPCPpEP:
-		return partition.Algorithm1(ts, NewDPCPp(ts, opts.pathCap(), false), opts.Placement)
-	case DPCPpEN:
-		return partition.Algorithm1(ts, NewDPCPp(ts, opts.pathCap(), true), opts.Placement)
+	case DPCPpEP, DPCPpEN:
+		if sc == nil {
+			sc = NewScratch()
+		}
+		en := m == DPCPpEN
+		return partition.Algorithm1(ts, newDPCPp(sc, ts, opts.pathCap(), en), opts.Placement)
 	case SPIN:
 		return partition.IterativeFederated(ts, NewSpin(ts))
 	case LPP:

@@ -16,21 +16,26 @@ import (
 // With en=true, or whenever a DAG has more than pathCap complete paths, it
 // substitutes the per-term path extremes computed by DAG dynamic
 // programming (DPCP-p-EN).
+//
+// Every analyzer computes through a Scratch (see scratch.go): NewDPCPp owns
+// a private one, TestWith threads a caller-recycled one so steady-state
+// analysis rounds allocate nothing.
 type DPCPp struct {
 	ts      *model.Taskset
 	pathCap int
 	en      bool
+	sc      *Scratch
+
+	// byPrio caches ByPriorityDesc for the analyzer's lifetime: the sort
+	// result (including its tie order, which feeds the eta terms) is fixed
+	// per taskset, and WCRTs runs once per partitioning round.
+	byPrio []*model.Task
 
 	// Fallbacks counts tasks analyzed with EN bounds because their path
 	// count exceeded pathCap (diagnostics only). It increments once per
 	// per-task view construction, including cache hits, mirroring the
 	// pre-cache behavior.
 	Fallbacks int
-
-	// viewCache memoizes per-task views across the repeated WCRTs rounds
-	// of the partitioning loop: views depend only on the (immutable,
-	// finalized) task, never on the candidate partition.
-	viewCache map[rt.TaskID]cachedViews
 }
 
 type cachedViews struct {
@@ -38,18 +43,29 @@ type cachedViews struct {
 	fallback bool
 }
 
-// NewDPCPp returns a DPCP-p analyzer over the taskset.
+// NewDPCPp returns a DPCP-p analyzer over the taskset with its own private
+// scratch. Use TestWith to recycle scratch across analyses.
 func NewDPCPp(ts *model.Taskset, pathCap int, en bool) *DPCPp {
-	return &DPCPp{ts: ts, pathCap: pathCap, en: en,
-		viewCache: make(map[rt.TaskID]cachedViews, len(ts.Tasks))}
+	return newDPCPp(NewScratch(), ts, pathCap, en)
+}
+
+func newDPCPp(sc *Scratch, ts *model.Taskset, pathCap int, en bool) *DPCPp {
+	sc.analyzerReset()
+	return &DPCPp{ts: ts, pathCap: pathCap, en: en, sc: sc,
+		byPrio: ts.ByPriorityDesc()}
 }
 
 // WCRTs implements partition.Analyzer: it analyzes tasks from highest to
 // lowest priority so that eta terms can use the already-computed bounds of
 // higher-priority tasks (Sec. IV-B).
+//
+// The returned map is scratch-owned and valid until the next WCRTs call on
+// this analyzer; internal/partition copies it into every Result it hands
+// out.
 func (a *DPCPp) WCRTs(p *partition.Partition) map[rt.TaskID]rt.Time {
-	wcrts := make(map[rt.TaskID]rt.Time, len(a.ts.Tasks))
-	for _, t := range a.ts.ByPriorityDesc() {
+	wcrts := a.sc.wcrts
+	clear(wcrts)
+	for _, t := range a.byPrio {
 		wcrts[t.ID] = a.taskWCRT(p, t, wcrts)
 	}
 	return wcrts
@@ -66,10 +82,10 @@ type pathView struct {
 }
 
 func (a *DPCPp) pathViews(t *model.Task) []pathView {
-	c, ok := a.viewCache[t.ID]
+	c, ok := a.sc.viewCache[t.ID]
 	if !ok {
 		c = a.buildViews(t)
-		a.viewCache[t.ID] = c
+		a.sc.viewCache[t.ID] = c
 	}
 	if c.fallback {
 		a.Fallbacks++
@@ -79,12 +95,15 @@ func (a *DPCPp) pathViews(t *model.Task) []pathView {
 
 func (a *DPCPp) buildViews(t *model.Task) cachedViews {
 	nr := a.ts.NumResources
+	s := a.sc
 	if !a.en {
-		if pvs, ok := t.EnumerateViews(a.pathCap); ok {
-			views := make([]pathView, len(pvs))
-			// One flat backing array for every view's request vectors
-			// instead of 2 slice allocations per view.
-			flat := make([]int64, 2*nr*len(pvs))
+		if pvs, ok := t.EnumerateViewsScratch(a.pathCap, &s.vs); ok {
+			// The enumerated views borrow s.vs until its next call; convert
+			// them immediately into analyzer-lifetime arena storage (the
+			// view cache spans partition rounds). One flat backing array
+			// holds every view's request vectors.
+			views := s.pviews.alloc(len(pvs))
+			flat := s.flat.alloc(2 * nr * len(pvs))
 			totalNonCrit := t.NonCritWCET()
 			for i := range pvs {
 				pv := &pvs[i]
@@ -112,18 +131,22 @@ func (a *DPCPp) buildViews(t *model.Task) cachedViews {
 // enView builds the single path-oblivious EN view.
 func (a *DPCPp) enView(t *model.Task) []pathView {
 	nr := a.ts.NumResources
+	s := a.sc
 	b := t.ComputePathBounds()
-	v := pathView{
+	views := s.pviews.alloc(1)
+	on := s.flat.alloc(nr)
+	off := s.flat.alloc(nr)
+	for q := 0; q < nr; q++ {
+		on[q] = b.MaxReq[q]
+		off[q] = t.NumRequests(rt.ResourceID(q)) - b.MinReq[q]
+	}
+	views[0] = pathView{
 		length:     b.MaxLength,
 		offNonCrit: t.NonCritWCET() - b.MinNonCrit,
-		onPath:     make([]int64, nr),
-		offPath:    make([]int64, nr),
+		onPath:     on,
+		offPath:    off,
 	}
-	for q := 0; q < nr; q++ {
-		v.onPath[q] = b.MaxReq[q]
-		v.offPath[q] = t.NumRequests(rt.ResourceID(q)) - b.MinReq[q]
-	}
-	return []pathView{v}
+	return views
 }
 
 // procCtx carries the per-processor precomputations for one analyzed task:
@@ -158,7 +181,9 @@ func etaSum(terms []etaTerm, window rt.Time) rt.Time {
 	return total
 }
 
-// taskCtx bundles everything Theorem 1 needs for one task.
+// taskCtx bundles everything Theorem 1 needs for one task. It lives inside
+// the analyzer's Scratch and every slice below is arena-backed: a taskCtx
+// is valid only until the next buildCtx call on the same analyzer.
 type taskCtx struct {
 	task    *model.Task
 	mi      int64
@@ -186,7 +211,8 @@ type taskCtx struct {
 	// rt.Infinity marks a diverged recurrence.
 	epsMemo map[epsKey]rt.Time
 	// epsScratch holds the per-processor epsilon values of the view under
-	// evaluation, reused across views.
+	// evaluation in the single-view path (pathWCRT: Explain and reference
+	// implementations); the batched path keeps its own flat array.
 	epsScratch []rt.Time
 }
 
@@ -201,29 +227,48 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 	wcrts map[rt.TaskID]rt.Time) *taskCtx {
 
 	ts := a.ts
-	ctx := &taskCtx{task: t, mi: int64(p.NumProcs(t.ID))}
+	s := a.sc
+	s.taskReset()
+	ctx := &s.ctx
+	ctx.task = t
+	ctx.mi = int64(p.NumProcs(t.ID))
 	if ctx.mi == 0 {
 		ctx.mi = 1
 	}
+	ctx.procs = ctx.procs[:0]
+	ctx.cluster = nil
+	ctx.clusterRes = nil
+	ctx.clusterCS = nil
+	ctx.hpShared = nil
+	ctx.shared = false
 
-	for q := 0; q < ts.NumResources; q++ {
+	nr := ts.NumResources
+	localRes := s.resIDs.alloc(nr)[:0]
+	localCS := s.times.alloc(nr)[:0]
+	for q := 0; q < nr; q++ {
 		rid := rt.ResourceID(q)
 		if ts.IsLocal(rid) && t.UsesResource(rid) {
-			ctx.localRes = append(ctx.localRes, rid)
-			ctx.localCS = append(ctx.localCS, t.CS(rid))
+			localRes = append(localRes, rid)
+			localCS = append(localCS, t.CS(rid))
 		}
 	}
+	ctx.localRes, ctx.localCS = localRes, localCS
 
+	// nOther bounds every eta-term list: each task other than t contributes
+	// at most one term per list.
+	nOther := len(ts.Tasks)
 	for k := 0; k < ts.NumProcs; k++ {
 		proc := rt.ProcID(k)
 		res := p.ResourcesOn(proc)
 		if len(res) == 0 {
 			continue
 		}
-		pc := procCtx{proc: proc, res: res, resCS: make([]rt.Time, len(res))}
+		pc := procCtx{proc: proc, res: res, resCS: s.times.alloc(len(res))}
 		for j, u := range res {
 			pc.resCS[j] = t.CS(u)
 		}
+		pc.hp = s.terms.alloc(nOther)[:0]
+		pc.other = s.terms.alloc(nOther)[:0]
 		for _, other := range ts.Tasks {
 			if other.ID == t.ID {
 				continue
@@ -257,6 +302,7 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 	if p.IsShared(t.ID) {
 		ctx.shared = true
 		ctx.mi = 1
+		hpShared := s.terms.alloc(nOther)[:0]
 		for _, k := range p.Procs(t.ID) {
 			for _, id := range p.SharedOn(k) {
 				if id == t.ID {
@@ -264,7 +310,7 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 				}
 				other := ts.Task(id)
 				if other.Priority.Higher(t.Priority) {
-					ctx.hpShared = append(ctx.hpShared, etaTerm{
+					hpShared = append(hpShared, etaTerm{
 						period: other.Period,
 						resp:   knownOrDeadline(wcrts, other),
 						work:   other.WCET(),
@@ -272,17 +318,19 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 				}
 			}
 		}
+		ctx.hpShared = hpShared
 	}
 
-	ctx.epsMemo = make(map[epsKey]rt.Time)
-	ctx.epsScratch = make([]rt.Time, len(ctx.procs))
+	ctx.epsMemo = s.epsMemo
+	ctx.epsScratch = s.times.alloc(len(ctx.procs))
 
-	ctx.clusterRes = p.ClusterResources(t.ID)
+	ctx.clusterRes = p.AppendClusterResources(s.resIDs.alloc(nr)[:0], t.ID)
 	if len(ctx.clusterRes) > 0 {
-		ctx.clusterCS = make([]rt.Time, len(ctx.clusterRes))
+		ctx.clusterCS = s.times.alloc(len(ctx.clusterRes))
 		for j, u := range ctx.clusterRes {
 			ctx.clusterCS[j] = t.CS(u)
 		}
+		cluster := s.terms.alloc(nOther)[:0]
 		for _, other := range ts.Tasks {
 			if other.ID == t.ID {
 				continue
@@ -292,14 +340,24 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 				work = rt.SatAdd(work, other.CSWork(u))
 			}
 			if work > 0 {
-				ctx.cluster = append(ctx.cluster,
+				cluster = append(cluster,
 					etaTerm{period: other.Period, resp: knownOrDeadline(wcrts, other), work: work})
 			}
 		}
+		ctx.cluster = cluster
 	}
 	return ctx
 }
 
+// taskWCRT evaluates Theorem 1 over every candidate path view of one task.
+// The per-view constants (Lemmas 4 and 5, the static Lemma 6 term, and the
+// Lemma 2/3 epsilons) are computed up front into flat batch arrays — the
+// epsilons processor-major, so one processor's beta/gamma tables and its
+// (proc, base) memo rows stay hot across the whole view batch — and the
+// response-time fixed points of all views then iterate in lockstep via
+// rta.FixPointBatch, streaming the shared eta tables once per wave instead
+// of once per view. Results are bit-identical to evaluating pathWCRT per
+// view (the epequiv suite pins this against the per-path reference).
 func (a *DPCPp) taskWCRT(p *partition.Partition, t *model.Task,
 	wcrts map[rt.TaskID]rt.Time) rt.Time {
 
@@ -307,15 +365,74 @@ func (a *DPCPp) taskWCRT(p *partition.Partition, t *model.Task,
 	// A light task runs sequentially: the whole job is its only "path";
 	// every request is on it and nothing runs off it (handled by viewsFor).
 	views := a.viewsFor(ctx)
+	nv := len(views)
+	np := len(ctx.procs)
+	s := a.sc
 
+	bs := s.times.alloc(nv)
+	iIntras := s.times.alloc(nv)
+	iaStatics := s.times.alloc(nv)
+	xs := s.times.alloc(nv)
+	eps := s.times.alloc(nv * np)
+	done := s.bools.alloc(nv)
+
+	for vi := range views {
+		v := &views[vi]
+		// Lemma 4: intra-task blocking (constant in r).
+		b := a.intraBlocking(ctx, v)
+		// Lemma 5: intra-task interference (constant in r).
+		iIntra := v.offNonCrit
+		for j, q := range ctx.localRes {
+			iIntra = rt.SatAdd(iIntra, rt.SatMul(v.offPath[q], ctx.localCS[j]))
+		}
+		// Static off-path agent work on the own cluster (Lemma 6, Eq. 9).
+		var iaStatic rt.Time
+		for j, q := range ctx.clusterRes {
+			iaStatic = rt.SatAdd(iaStatic, rt.SatMul(v.offPath[q], ctx.clusterCS[j]))
+		}
+		bs[vi], iIntras[vi], iaStatics[vi] = b, iIntra, iaStatic
+		xs[vi] = rt.SatAdd(v.length, rt.SatAdd(b, rt.CeilDiv(iIntra, ctx.mi)))
+	}
+	// Lemma 3 epsilon terms (constant in r; computed via Lemma 2's W).
+	for pi := range ctx.procs {
+		pc := &ctx.procs[pi]
+		for vi := range views {
+			eps[vi*np+pi] = a.epsilon(ctx, pc, &views[vi])
+		}
+	}
+
+	ok := rta.FixPointBatch(xs, t.Deadline, done, func(vi int, r rt.Time) rt.Time {
+		v := &views[vi]
+		ve := eps[vi*np : (vi+1)*np]
+		// Lemma 3: B_i <= sum_k min(eps_k, zeta_k(r)).
+		var blocking rt.Time
+		for i := range ctx.procs {
+			zeta := etaSum(ctx.procs[i].other, r)
+			if ve[i] < zeta {
+				blocking = rt.SatAdd(blocking, ve[i])
+			} else {
+				blocking = rt.SatAdd(blocking, zeta)
+			}
+		}
+		// Lemma 6: I_A.
+		ia := rt.SatAdd(etaSum(ctx.cluster, r), iaStatics[vi])
+		sum := rt.SatAdd(v.length, blocking)
+		sum = rt.SatAdd(sum, bs[vi])
+		sum = rt.SatAdd(sum, rt.CeilDiv(rt.SatAdd(iIntras[vi], ia), ctx.mi))
+		// Sec. VI: higher-priority light tasks on the same processor
+		// interfere with their full WCET (partitioned fixed-priority).
+		return rt.SatAdd(sum, etaSum(ctx.hpShared, r))
+	})
+	if !ok {
+		// One diverged view dooms the task either way; per-view results are
+		// irrelevant past this point, exactly like the early exit of the
+		// sequential loop.
+		return rt.Infinity
+	}
 	var worst rt.Time
-	for i := range views {
-		r := a.pathWCRT(ctx, &views[i])
+	for _, r := range xs {
 		if r > worst {
 			worst = r
-		}
-		if worst >= rt.Infinity {
-			return rt.Infinity
 		}
 	}
 	return worst
@@ -326,6 +443,9 @@ func (a *DPCPp) taskWCRT(p *partition.Partition, t *model.Task,
 //	r <= L(lambda) + B_i + b_i + (I_intra + I_A) / m_i
 //
 // as the least fixed point over r (B and I_A depend on r through eta).
+// The production path (taskWCRT) batches this computation across views;
+// pathWCRT remains the single-view evaluator behind Explain and the
+// per-path reference implementation of the equivalence suite.
 func (a *DPCPp) pathWCRT(ctx *taskCtx, v *pathView) rt.Time {
 	t := ctx.task
 

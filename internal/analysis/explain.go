@@ -96,18 +96,23 @@ func (a *DPCPp) Explain(p *partition.Partition) []Breakdown {
 	return out
 }
 
-// viewsFor mirrors taskWCRT's view construction.
+// viewsFor mirrors taskWCRT's view construction. The shared-task (Sec. VI)
+// view is rebuilt per round from per-task scratch: like the taskCtx it is
+// valid only until the next buildCtx call on this analyzer.
 func (a *DPCPp) viewsFor(ctx *taskCtx) []pathView {
 	t := ctx.task
 	if !ctx.shared {
 		return a.pathViews(t)
 	}
+	s := a.sc
 	nr := a.ts.NumResources
-	v := pathView{length: t.WCET(), onPath: make([]int64, nr), offPath: make([]int64, nr)}
+	on := s.i64s.alloc(nr)
+	off := s.i64s.allocZero(nr)
 	for q := 0; q < nr; q++ {
-		v.onPath[q] = t.NumRequests(rt.ResourceID(q))
+		on[q] = t.NumRequests(rt.ResourceID(q))
 	}
-	return []pathView{v}
+	s.sharedView[0] = pathView{length: t.WCET(), onPath: on, offPath: off}
+	return s.sharedView[:1]
 }
 
 // explainView computes the fixed point for one view and re-evaluates each

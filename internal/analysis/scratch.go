@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"dpcpp/internal/model"
+	"dpcpp/internal/rt"
+)
+
+// arena is a typed bump allocator over a reusable backing array. alloc
+// hands out full-slice-capped chunks so a later append on one chunk can
+// never clobber its neighbor. reset rewinds the bump pointer without
+// touching contents — chunks are recycled with whatever stale values they
+// held, so every caller must fully overwrite its chunk (or use the [:0]
+// append idiom within the chunk's capacity).
+//
+// Growth allocates a fresh backing array; chunks already handed out keep
+// the previous array alive, so mid-cycle growth is safe. Because the new
+// size is at least double the old, a workload with bounded per-cycle demand
+// reaches a steady state where alloc never allocates.
+type arena[T any] struct {
+	buf []T
+	off int
+}
+
+func (a *arena[T]) reset() { a.off = 0 }
+
+func (a *arena[T]) alloc(n int) []T {
+	if a.off+n > len(a.buf) {
+		size := 2 * (a.off + n)
+		if size < 64 {
+			size = 64
+		}
+		a.buf = make([]T, size)
+		a.off = 0
+	}
+	c := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return c
+}
+
+// allocZero is alloc with the chunk cleared, for callers that rely on
+// zero-valued entries they do not explicitly write.
+func (a *arena[T]) allocZero(n int) []T {
+	c := a.alloc(n)
+	clear(c)
+	return c
+}
+
+// Scratch is the reusable working memory of the DPCP-p analyses. A single
+// Scratch, recycled across TestWith calls, drives the steady-state
+// allocations of an EN or EP analysis round to zero: path views, their
+// request vectors, per-task interference tables, fixed-point work arrays
+// and the response-time map all live in scratch-owned arenas and maps that
+// are reset — never reallocated — between uses.
+//
+// Ownership rules:
+//
+//   - A Scratch may be used by one goroutine at a time. Concurrent workers
+//     each own one (internal/experiments pools them per worker;
+//     internal/server pools them via sync.Pool).
+//   - newDPCPp resets the analyzer-lifetime region (view cache and view
+//     arenas); buildCtx resets the per-task region. Nothing else resets.
+//   - Everything a partition.Result carries out of an analysis (partition,
+//     WCRT map, reason) is freshly allocated or copied, never
+//     scratch-backed: callers may retain Results indefinitely and reuse the
+//     Scratch immediately.
+//   - Internal borrowers follow the narrower lifetime: path views stay
+//     valid for one analyzer's lifetime (the view cache spans partition
+//     rounds), per-task contexts for one task's round, and the WCRTs map
+//     until the next WCRTs call on the same analyzer.
+type Scratch struct {
+	// Analyzer-lifetime state, reset by newDPCPp.
+
+	// viewCache memoizes per-task path views across the repeated WCRTs
+	// rounds of the partitioning loop: views depend only on the (immutable,
+	// finalized) task, never on the candidate partition.
+	viewCache map[rt.TaskID]cachedViews
+	vs        model.ViewScratch
+	pviews    arena[pathView]
+	flat      arena[int64] // request-vector backing of cached views
+
+	// WCRTs-lifetime state: the response-time map handed out by WCRTs,
+	// valid until the next WCRTs call (internal/partition copies it into
+	// every Result it returns).
+	wcrts map[rt.TaskID]rt.Time
+
+	// Per-task state, reset by buildCtx.
+	ctx        taskCtx
+	terms      arena[etaTerm]
+	times      arena[rt.Time]
+	resIDs     arena[rt.ResourceID]
+	i64s       arena[int64]
+	bools      arena[bool]
+	epsMemo    map[epsKey]rt.Time
+	sharedView [1]pathView
+}
+
+// NewScratch returns an empty Scratch ready for TestWith. The zero value is
+// not usable; maps must be pre-built so resets can clear instead of
+// reallocate.
+func NewScratch() *Scratch {
+	return &Scratch{
+		viewCache: make(map[rt.TaskID]cachedViews),
+		wcrts:     make(map[rt.TaskID]rt.Time),
+		epsMemo:   make(map[epsKey]rt.Time),
+	}
+}
+
+// analyzerReset recycles the analyzer-lifetime region for a fresh analyzer.
+// Map buckets and arena backings survive, so an analyzer over a
+// previously-seen taskset shape allocates nothing.
+func (s *Scratch) analyzerReset() {
+	clear(s.viewCache)
+	s.pviews.reset()
+	s.flat.reset()
+}
+
+// taskReset recycles the per-task region at the top of buildCtx.
+func (s *Scratch) taskReset() {
+	s.terms.reset()
+	s.times.reset()
+	s.resIDs.reset()
+	s.i64s.reset()
+	s.bools.reset()
+	clear(s.epsMemo)
+}

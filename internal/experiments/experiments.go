@@ -70,6 +70,22 @@ func SampleSeed(base int64, scenario string, point, sample int) int64 {
 	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
+// retrySeed derives the RNG seed of one generation attempt. Attempt 0 is
+// the sample's own seed, so retry-free samples are untouched by the
+// discipline; later attempts re-derive through the same FNV hashing as
+// SampleSeed. A fixed additive stride (the former seed + attempt*7919)
+// is not collision-free: the attempt chains of two samples whose seeds
+// differ by a multiple of the stride walk the same seed values, feeding
+// identical tasksets into both samples' statistics.
+func retrySeed(seed int64, attempt int) int64 {
+	if attempt == 0 {
+		return seed
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|retry|%d", seed, attempt)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
 // GenerateSample draws the taskset of one sample, retrying with derived
 // seeds when the structural constraints cannot be met for the drawn
 // parameters. The retry discipline is part of the determinism contract:
@@ -77,7 +93,7 @@ func SampleSeed(base int64, scenario string, point, sample int) int64 {
 func GenerateSample(g *taskgen.Generator, seed int64, util float64) (*model.Taskset, error) {
 	var lastErr error
 	for attempt := 0; attempt < 16; attempt++ {
-		r := rand.New(rand.NewSource(seed + int64(attempt)*7919))
+		r := rand.New(rand.NewSource(retrySeed(seed, attempt)))
 		ts, err := g.Taskset(r, util)
 		if err == nil {
 			return ts, nil

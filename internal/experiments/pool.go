@@ -120,11 +120,17 @@ func runPool(camps []Campaign, workers int, onCurve func(int, *Curve)) ([]*Curve
 
 	var mu sync.Mutex // guards curve points and firstErr
 	var firstErr *jobError
-	// Generators are per-scenario and stateless across samples; each worker
-	// lazily builds its own so no locking is needed.
-	gens := make([]map[int]*taskgen.Generator, workers)
-	for w := range gens {
-		gens[w] = make(map[int]*taskgen.Generator, len(camps))
+	// Worker-local state needs no locking: generators are per-scenario and
+	// stateless across samples, and the analysis scratch plus verdict map
+	// are recycled job after job, so a worker's steady-state sample costs
+	// (almost) no allocations regardless of sweep size.
+	locals := make([]workerLocal, workers)
+	for w := range locals {
+		locals[w] = workerLocal{
+			gens:     make(map[int]*taskgen.Generator, len(camps)),
+			sc:       analysis.NewScratch(),
+			verdicts: make(map[analysis.Method]bool, 8),
+		}
 	}
 	ParallelFor(workers, totalJobs, func(worker, idx int) {
 		ci := sort.SearchInts(offsets[1:], idx+1)
@@ -133,12 +139,13 @@ func runPool(camps []Campaign, workers int, onCurve func(int, *Curve)) ([]*Curve
 		jb := gridJob{scen: ci, point: rem / samples, sample: rem % samples}
 
 		c := &camps[ci]
-		g := gens[worker][ci]
+		wl := &locals[worker]
+		g := wl.gens[ci]
 		if g == nil {
 			g = taskgen.NewGenerator(c.Scenario)
-			gens[worker][ci] = g
+			wl.gens[ci] = g
 		}
-		runJob(c, g, curves[ci], jb, &mu, &firstErr)
+		runJob(c, g, wl, curves[ci], jb, &mu, &firstErr)
 		if remaining[ci].Add(-1) == 0 && onCurve != nil {
 			onCurve(ci, curves[ci])
 		}
@@ -146,10 +153,18 @@ func runPool(camps []Campaign, workers int, onCurve func(int, *Curve)) ([]*Curve
 	return curves, firstErr
 }
 
+// workerLocal is one pool worker's recycled state; owned by exactly one
+// worker goroutine for the lifetime of the sweep.
+type workerLocal struct {
+	gens     map[int]*taskgen.Generator
+	sc       *analysis.Scratch
+	verdicts map[analysis.Method]bool
+}
+
 // runJob draws and analyzes one sample and folds the verdicts into the
 // curve.
-func runJob(c *Campaign, g *taskgen.Generator, curve *Curve, jb gridJob,
-	mu *sync.Mutex, firstErr **jobError) {
+func runJob(c *Campaign, g *taskgen.Generator, wl *workerLocal, curve *Curve,
+	jb gridJob, mu *sync.Mutex, firstErr **jobError) {
 
 	seed := SampleSeed(c.Seed, c.Scenario.Name(), jb.point, jb.sample)
 	ts, err := GenerateSample(g, seed, curve.Points[jb.point].Utilization)
@@ -161,9 +176,10 @@ func runJob(c *Campaign, g *taskgen.Generator, curve *Curve, jb gridJob,
 		mu.Unlock()
 		return
 	}
-	verdicts := make(map[analysis.Method]bool, len(c.Methods))
+	verdicts := wl.verdicts
+	clear(verdicts)
 	for _, m := range c.Methods {
-		verdicts[m] = analysis.Schedulable(m, ts, c.Options)
+		verdicts[m] = analysis.TestWith(wl.sc, m, ts, c.Options).Schedulable
 	}
 	mu.Lock()
 	pt := &curve.Points[jb.point]

@@ -1,8 +1,6 @@
 package model
 
 import (
-	"encoding/binary"
-
 	"dpcpp/internal/rt"
 )
 
@@ -37,6 +35,71 @@ type viewState struct {
 	paths   int64   // number of prefixes in the class, saturating
 }
 
+// sigDelta is one vertex's request increment on an active-resource slot,
+// hoisted out of the DP so the inner loop never touches the Requests maps.
+type sigDelta struct {
+	slot int
+	n    int64
+}
+
+// ViewScratch holds the reusable working memory of EnumerateViewsScratch:
+// the per-vertex DP state, the signature arena, the merger (including its
+// map index and key buffer) and the backing arrays of the returned views.
+//
+// Ownership: a ViewScratch may be used by one goroutine at a time, and the
+// views returned by EnumerateViewsScratch (including their NReq vectors)
+// borrow the scratch — they are valid only until the next
+// EnumerateViewsScratch call on the same scratch. Callers that retain views
+// must copy them out first (internal/analysis does: it converts views into
+// its own representation immediately).
+type ViewScratch struct {
+	active  []rt.ResourceID
+	slot    []int
+	deltas  [][]sigDelta
+	nonCrit []rt.Time
+	states  [][]viewState
+	final   []viewState
+	zeroSig []int64
+
+	// sigs is the arena backing every signature copied during one call;
+	// sigOff is the bump pointer, reset per call. Growth allocates a fresh
+	// backing array (chunks already handed out keep the old one alive), so
+	// after warm-up a steady-state call performs no signature allocations.
+	sigs   []int64
+	sigOff int
+
+	merger sigMerger
+
+	views []PathView
+	nreq  []int64
+}
+
+// allocSig bump-allocates one zero-length-capped signature of length n from
+// the arena. The full slice expression prevents a later append from
+// clobbering a neighboring chunk.
+func (s *ViewScratch) allocSig(n int) []int64 {
+	if s.sigOff+n > len(s.sigs) {
+		size := 2 * (s.sigOff + n)
+		if size < 64 {
+			size = 64
+		}
+		s.sigs = make([]int64, size)
+		s.sigOff = 0
+	}
+	c := s.sigs[s.sigOff : s.sigOff+n : s.sigOff+n]
+	s.sigOff += n
+	return c
+}
+
+// sliceCap returns s with length n, reusing the backing array when it is
+// large enough. Contents are unspecified; callers fully overwrite.
+func sliceCap[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // EnumerateViews streams every complete path of the DAG through a
 // signature-collapsing dynamic program and returns one PathView per
 // distinct request vector, in deterministic first-discovered order.
@@ -52,95 +115,119 @@ type viewState struct {
 // ok=false whenever the task has more than cap complete paths, regardless
 // of how few views they would collapse into. A cap <= 0 means unlimited.
 func (t *Task) EnumerateViews(cap int) (views []PathView, ok bool) {
+	return t.EnumerateViewsScratch(cap, nil)
+}
+
+// EnumerateViewsScratch is EnumerateViews computing through a reusable
+// scratch. With a nil scratch the returned views own fresh memory exactly
+// like EnumerateViews; with a non-nil scratch the views (and their NReq
+// backing) borrow it and stay valid only until the next call on the same
+// scratch. The fold order, merge order and therefore the returned view
+// order are identical either way.
+func (t *Task) EnumerateViewsScratch(cap int, s *ViewScratch) (views []PathView, ok bool) {
 	t.mustFinal()
 	if cap > 0 && t.CountPaths() > int64(cap) {
 		return nil, false
 	}
+	if s == nil {
+		s = &ViewScratch{}
+	}
 
 	// Active resources: only resources the task requests at all can appear
 	// in a signature, so signatures index them densely.
-	var active []rt.ResourceID
-	slot := make([]int, len(t.nReq))
+	s.active = s.active[:0]
+	s.slot = sliceCap(s.slot, len(t.nReq))
 	for q, n := range t.nReq {
 		if n > 0 {
-			slot[q] = len(active)
-			active = append(active, rt.ResourceID(q))
+			s.slot[q] = len(s.active)
+			s.active = append(s.active, rt.ResourceID(q))
 		}
 	}
-	na := len(active)
+	na := len(s.active)
 
-	// Per-vertex signature increments and non-critical WCETs, hoisted out
-	// of the DP so the inner loop never touches the Requests maps.
-	type sigDelta struct {
-		slot int
-		n    int64
+	// Per-vertex signature increments and non-critical WCETs.
+	nv := len(t.Vertices)
+	if have := len(s.deltas); have < nv {
+		s.deltas = append(s.deltas[:have], make([][]sigDelta, nv-have)...)
 	}
-	deltas := make([][]sigDelta, len(t.Vertices))
-	nonCrit := make([]rt.Time, len(t.Vertices))
+	s.nonCrit = sliceCap(s.nonCrit, nv)
 	for x, v := range t.Vertices {
-		nonCrit[x] = t.VertexNonCrit(rt.VertexID(x))
+		s.nonCrit[x] = t.VertexNonCrit(rt.VertexID(x))
+		d := s.deltas[x][:0]
 		for q, n := range v.Requests {
 			if n > 0 {
-				deltas[x] = append(deltas[x], sigDelta{slot: slot[q], n: int64(n)})
+				d = append(d, sigDelta{slot: s.slot[q], n: int64(n)})
 			}
 		}
+		s.deltas[x] = d
 	}
 
-	zeroSig := make([]int64, na)
-	m := newSigMerger(na)
+	s.zeroSig = sliceCap(s.zeroSig, na)
+	clear(s.zeroSig)
+	s.sigOff = 0
+	m := &s.merger
 
 	// Forward DP in topological order: states[x] holds the collapsed
-	// classes of all head-to-x prefixes (x included).
-	states := make([][]viewState, len(t.Vertices))
+	// classes of all head-to-x prefixes (x included). The predecessor
+	// signature is never mutated and is shared when x issues no requests.
+	if have := len(s.states); have < nv {
+		s.states = append(s.states[:have], make([][]viewState, nv-have)...)
+	}
 	for _, x := range t.topo {
-		m.reset()
-		// Fold every predecessor class, extended by x, into states[x].
-		// The predecessor signature is never mutated and is shared when x
-		// issues no requests.
-		fold := func(base []int64, nc rt.Time, paths int64) {
-			sig := base
-			if len(deltas[x]) > 0 {
-				sig = append(make([]int64, 0, na), base...)
-				for _, d := range deltas[x] {
-					sig[d.slot] += d.n
-				}
-			}
-			m.add(sig, nc, paths)
-		}
+		m.begin(s.states[x][:0])
 		if len(t.pred[x]) == 0 {
-			fold(zeroSig, nonCrit[x], 1)
+			s.fold(m, x, na, s.zeroSig, s.nonCrit[x], 1)
 		} else {
 			for _, p := range t.pred[x] {
-				for _, s := range states[p] {
-					fold(s.sig, s.nonCrit+nonCrit[x], s.paths)
+				for _, st := range s.states[p] {
+					s.fold(m, x, na, st.sig, st.nonCrit+s.nonCrit[x], st.paths)
 				}
 			}
 		}
-		states[x] = m.take()
+		s.states[x] = m.take()
 	}
 
 	// Merge the tail classes into the final views. Length is recovered from
 	// the signature: L = C'(lambda) + sum over active q of sig_q * L_{i,q}.
-	m.reset()
+	m.begin(s.final[:0])
 	for _, tail := range t.tails {
-		for _, s := range states[tail] {
-			m.add(s.sig, s.nonCrit, s.paths)
+		for _, st := range s.states[tail] {
+			m.add(st.sig, st.nonCrit, st.paths)
 		}
 	}
-	final := m.take()
+	s.final = m.take()
+	final := s.final
 
-	views = make([]PathView, len(final))
-	nreqFlat := make([]int64, len(final)*len(t.nReq))
-	for i, s := range final {
-		nreq := nreqFlat[i*len(t.nReq) : (i+1)*len(t.nReq) : (i+1)*len(t.nReq)]
-		length := s.nonCrit
-		for j, q := range active {
-			nreq[q] = s.sig[j]
-			length = rt.SatAdd(length, rt.SatMul(s.sig[j], t.CSLen[q]))
+	nr := len(t.nReq)
+	views = sliceCap(s.views, len(final))
+	s.views = views
+	s.nreq = sliceCap(s.nreq, len(final)*nr)
+	nreqFlat := s.nreq
+	clear(nreqFlat)
+	for i, st := range final {
+		nreq := nreqFlat[i*nr : (i+1)*nr : (i+1)*nr]
+		length := st.nonCrit
+		for j, q := range s.active {
+			nreq[q] = st.sig[j]
+			length = rt.SatAdd(length, rt.SatMul(st.sig[j], t.CSLen[q]))
 		}
-		views[i] = PathView{NReq: nreq, Length: length, NonCrit: s.nonCrit, Paths: s.paths}
+		views[i] = PathView{NReq: nreq, Length: length, NonCrit: st.nonCrit, Paths: st.paths}
 	}
 	return views, true
+}
+
+// fold extends one predecessor class by vertex x and hands it to the
+// merger. Signatures only copy (from the arena) when x issues requests.
+func (s *ViewScratch) fold(m *sigMerger, x rt.VertexID, na int, base []int64, nc rt.Time, paths int64) {
+	sig := base
+	if len(s.deltas[x]) > 0 {
+		sig = s.allocSig(na)
+		copy(sig, base)
+		for _, d := range s.deltas[x] {
+			sig[d.slot] += d.n
+		}
+	}
+	m.add(sig, nc, paths)
 }
 
 // CountViews returns the number of distinct request-vector signatures over
@@ -152,52 +239,89 @@ func (t *Task) CountViews() int {
 
 // sigMerger folds (signature, nonCrit, paths) triples into collapsed
 // equivalence classes. Small batches merge by direct signature comparison;
-// once the class count passes a threshold it switches to an encoded-key
-// map, so chain-heavy DAGs (few classes per vertex) never pay for hashing
-// while contention-heavy DAGs stay near O(1) per fold.
+// once the class count passes a threshold it switches to an open-addressed
+// hash table probing the signatures in place, so chain-heavy DAGs (few
+// classes per vertex) never pay for hashing while contention-heavy DAGs
+// stay near O(1) per fold. The table's backing persists across begin
+// calls, so a scratch-driven enumeration reuses it allocation-free (a
+// string-keyed map here would re-materialize every key string per call:
+// map writes always copy the key).
 type sigMerger struct {
-	na     int
-	out    []viewState
-	index  map[string]int // nil until the linear scan gets too long
-	keyBuf []byte
+	out []viewState
+	// table is the open-addressed index: table[j] holds 1+the out index of
+	// the class hashed to slot j, 0 marks an empty slot. Linear probing;
+	// capacity is a power of two kept at least twice the class count.
+	table   []int32
+	indexed bool // table is live for the current merge
 }
 
 // linearMergeMax bounds the direct-comparison phase; beyond it the merger
-// builds its map index.
+// builds its table index.
 const linearMergeMax = 16
 
-func newSigMerger(na int) *sigMerger { return &sigMerger{na: na} }
-
-func (m *sigMerger) reset() {
-	m.out = nil
-	if m.index != nil {
-		clear(m.index)
-	}
+// begin starts a new merge writing into dst (typically a reused slice
+// truncated to length zero).
+func (m *sigMerger) begin(dst []viewState) {
+	m.out = dst
+	m.indexed = false
 }
 
 // take returns the merged classes and detaches them from the merger.
 func (m *sigMerger) take() []viewState {
 	out := m.out
 	m.out = nil
-	if m.index != nil {
-		clear(m.index)
-	}
+	m.indexed = false
 	return out
 }
 
-// fillKey encodes sig into keyBuf; callers look up via string(m.keyBuf)
-// directly so the duplicate (merge) case never allocates — the compiler
-// elides the conversion for map reads — and only first-seen signatures
-// materialize a key string.
-func (m *sigMerger) fillKey(sig []int64) {
-	m.keyBuf = m.keyBuf[:0]
+// hashSig mixes the signature contents; only equality of signatures (not
+// any encoding) matters for correctness.
+func hashSig(sig []int64) uint64 {
+	h := uint64(14695981039346656037)
 	for _, n := range sig {
-		m.keyBuf = binary.AppendUvarint(m.keyBuf, uint64(n))
+		x := uint64(n)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		h = (h ^ x) * 0x9e3779b97f4a7c15
+	}
+	h ^= h >> 29
+	return h
+}
+
+// find probes for sig and returns the slot holding its class, or the empty
+// slot where it belongs.
+func (m *sigMerger) find(sig []int64) int {
+	mask := len(m.table) - 1
+	j := int(hashSig(sig)) & mask
+	for {
+		e := m.table[j]
+		if e == 0 || sigEqual(m.out[e-1].sig, sig) {
+			return j
+		}
+		j = (j + 1) & mask
+	}
+}
+
+// reindex (re)builds the table over the current classes, growing the
+// backing only when the class count outruns the 1/2 load factor.
+func (m *sigMerger) reindex() {
+	need := 4 * linearMergeMax
+	for need < 4*(len(m.out)+1) {
+		need *= 2
+	}
+	if len(m.table) < need {
+		m.table = make([]int32, need)
+	} else {
+		clear(m.table)
+	}
+	m.indexed = true
+	for i := range m.out {
+		m.table[m.find(m.out[i].sig)] = int32(i + 1)
 	}
 }
 
 func (m *sigMerger) add(sig []int64, nonCrit rt.Time, paths int64) {
-	if m.index == nil || len(m.out) <= linearMergeMax {
+	if !m.indexed {
 		for i := range m.out {
 			if sigEqual(m.out[i].sig, sig) {
 				m.merge(i, nonCrit, paths)
@@ -209,20 +333,17 @@ func (m *sigMerger) add(sig []int64, nonCrit rt.Time, paths int64) {
 			return
 		}
 		// Crossing the threshold: index everything seen so far.
-		if m.index == nil {
-			m.index = make(map[string]int, 2*linearMergeMax)
-		}
-		for i := range m.out {
-			m.fillKey(m.out[i].sig)
-			m.index[string(m.keyBuf)] = i
-		}
+		m.reindex()
 	}
-	m.fillKey(sig)
-	if i, dup := m.index[string(m.keyBuf)]; dup {
-		m.merge(i, nonCrit, paths)
+	if 2*(len(m.out)+1) > len(m.table) {
+		m.reindex()
+	}
+	j := m.find(sig)
+	if e := m.table[j]; e != 0 {
+		m.merge(int(e-1), nonCrit, paths)
 		return
 	}
-	m.index[string(m.keyBuf)] = len(m.out)
+	m.table[j] = int32(len(m.out) + 1)
 	m.out = append(m.out, viewState{sig: sig, nonCrit: nonCrit, paths: paths})
 }
 

@@ -49,21 +49,28 @@ func (p *Partition) Assign(id rt.TaskID, count int) bool {
 	if count <= 0 {
 		return true
 	}
-	var free []rt.ProcID
+	n := 0
 	for k, o := range p.owner {
 		if o < 0 && len(p.shared[rt.ProcID(k)]) == 0 {
-			free = append(free, rt.ProcID(k))
-			if len(free) == count {
+			n++
+			if n == count {
 				break
 			}
 		}
 	}
-	if len(free) < count {
+	if n < count {
 		return false
 	}
-	for _, k := range free {
-		p.owner[k] = id
-		p.procs[id] = append(p.procs[id], k)
+	n = 0
+	for k, o := range p.owner {
+		if o < 0 && len(p.shared[rt.ProcID(k)]) == 0 {
+			p.owner[k] = id
+			p.procs[id] = append(p.procs[id], rt.ProcID(k))
+			n++
+			if n == count {
+				return true
+			}
+		}
 	}
 	return true
 }
@@ -174,11 +181,18 @@ func (p *Partition) CoLocated(q rt.ResourceID) []rt.ResourceID {
 // ClusterResources returns the global resources placed on the cluster of
 // the task (the paper's Phi^p(tau_i)).
 func (p *Partition) ClusterResources(id rt.TaskID) []rt.ResourceID {
-	var out []rt.ResourceID
+	return p.AppendClusterResources(nil, id)
+}
+
+// AppendClusterResources appends the cluster's global resources to dst and
+// returns the extended slice; analysis hot paths pass a reused buffer to
+// stay allocation-free. Every resource lives on at most one processor, so
+// the result never exceeds the taskset's resource count.
+func (p *Partition) AppendClusterResources(dst []rt.ResourceID, id rt.TaskID) []rt.ResourceID {
 	for _, k := range p.procs[id] {
-		out = append(out, p.resOn[k]...)
+		dst = append(dst, p.resOn[k]...)
 	}
-	return out
+	return dst
 }
 
 // CloneFor returns a deep copy of the partition bound to another taskset,
@@ -250,7 +264,24 @@ type Analyzer interface {
 	// WCRTs returns a response-time bound per task. A bound above the
 	// task's deadline (or rt.Infinity) marks the task unschedulable under
 	// this partition.
+	//
+	// The returned map may be analyzer-owned scratch, valid only until the
+	// next WCRTs call on the same analyzer. The partitioning loops below
+	// respect that lifetime and copy the map into any Result they return.
 	WCRTs(p *Partition) map[rt.TaskID]rt.Time
+}
+
+// copyWCRTs detaches a WCRT map from its (possibly scratch-owned) analyzer
+// before it escapes into a long-lived Result.
+func copyWCRTs(wcrts map[rt.TaskID]rt.Time) map[rt.TaskID]rt.Time {
+	if wcrts == nil {
+		return nil
+	}
+	out := make(map[rt.TaskID]rt.Time, len(wcrts))
+	for id, r := range wcrts {
+		out[id] = r
+	}
+	return out
 }
 
 // Result is the outcome of a partitioning run.
@@ -311,7 +342,7 @@ func Algorithm1(ts *model.Taskset, a Analyzer, heuristic PlacementHeuristic) Res
 				continue
 			}
 			if p.Unassigned() == 0 {
-				return Result{Partition: p, WCRT: wcrts, Rounds: rounds,
+				return Result{Partition: p, WCRT: copyWCRTs(wcrts), Rounds: rounds,
 					Reason: fmt.Sprintf("task %d misses deadline (R=%s > D=%s) and no processors remain",
 						t.ID, rt.FormatTime(wcrts[t.ID]), rt.FormatTime(t.Deadline))}
 			}
@@ -320,7 +351,7 @@ func Algorithm1(ts *model.Taskset, a Analyzer, heuristic PlacementHeuristic) Res
 			break // rollback resources and retry (paper line 13-14)
 		}
 		if !augmented {
-			return Result{Schedulable: true, Partition: p, WCRT: wcrts, Rounds: rounds}
+			return Result{Schedulable: true, Partition: p, WCRT: copyWCRTs(wcrts), Rounds: rounds}
 		}
 	}
 }
@@ -354,7 +385,7 @@ func IterativeFederated(ts *model.Taskset, a Analyzer) Result {
 				continue
 			}
 			if p.Unassigned() == 0 {
-				return Result{Partition: p, WCRT: wcrts, Rounds: rounds,
+				return Result{Partition: p, WCRT: copyWCRTs(wcrts), Rounds: rounds,
 					Reason: fmt.Sprintf("task %d misses deadline and no processors remain", t.ID)}
 			}
 			p.Assign(t.ID, 1)
@@ -362,7 +393,7 @@ func IterativeFederated(ts *model.Taskset, a Analyzer) Result {
 			break
 		}
 		if !augmented {
-			return Result{Schedulable: true, Partition: p, WCRT: wcrts, Rounds: rounds}
+			return Result{Schedulable: true, Partition: p, WCRT: copyWCRTs(wcrts), Rounds: rounds}
 		}
 	}
 }
@@ -451,7 +482,7 @@ func AlgorithmMixed(ts *model.Taskset, a Analyzer, heuristic PlacementHeuristic)
 				continue
 			}
 			if p.IsShared(t.ID) || p.Unassigned() == 0 {
-				return Result{Partition: p, WCRT: wcrts, Rounds: rounds,
+				return Result{Partition: p, WCRT: copyWCRTs(wcrts), Rounds: rounds,
 					Reason: fmt.Sprintf("task %d misses deadline (R=%s > D=%s)",
 						t.ID, rt.FormatTime(wcrts[t.ID]), rt.FormatTime(t.Deadline))}
 			}
@@ -460,7 +491,7 @@ func AlgorithmMixed(ts *model.Taskset, a Analyzer, heuristic PlacementHeuristic)
 			break
 		}
 		if !augmented {
-			return Result{Schedulable: true, Partition: p, WCRT: wcrts, Rounds: rounds}
+			return Result{Schedulable: true, Partition: p, WCRT: copyWCRTs(wcrts), Rounds: rounds}
 		}
 	}
 }

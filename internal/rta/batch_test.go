@@ -1,0 +1,104 @@
+package rta
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpcpp/internal/rt"
+)
+
+// batchRecurrences builds a family of classic-RTA-shaped recurrences
+// x -> c_i + sum_j ceil(x/T_ij)*C_ij from a seeded source.
+func batchRecurrences(rng *rand.Rand, n int) ([]rt.Time, []func(rt.Time) rt.Time) {
+	x0s := make([]rt.Time, n)
+	fns := make([]func(rt.Time) rt.Time, n)
+	for i := range fns {
+		c := rt.Time(1 + rng.Intn(20))
+		type hp struct{ T, C rt.Time }
+		terms := make([]hp, rng.Intn(4))
+		for j := range terms {
+			terms[j] = hp{T: rt.Time(2 + rng.Intn(30)), C: rt.Time(1 + rng.Intn(5))}
+		}
+		x0s[i] = c
+		fns[i] = func(x rt.Time) rt.Time {
+			total := c
+			for _, h := range terms {
+				total = rt.SatAdd(total, rt.SatMul(rt.CeilDiv(x, h.T), h.C))
+			}
+			return total
+		}
+	}
+	return x0s, fns
+}
+
+// TestFixPointBatchMatchesFixPoint pins the batch contract: for any mix of
+// converging recurrences the batch returns exactly the per-recurrence
+// FixPoint values, and a single diverging member fails the whole batch
+// exactly as the per-view loop would.
+func TestFixPointBatchMatchesFixPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8)
+		limit := rt.Time(1 + rng.Intn(400))
+		x0s, fns := batchRecurrences(rng, n)
+
+		wantOK := true
+		want := make([]rt.Time, n)
+		for i, f := range fns {
+			x, ok := FixPoint(x0s[i], limit, f)
+			want[i] = x
+			if !ok {
+				wantOK = false
+			}
+		}
+
+		xs := append([]rt.Time(nil), x0s...)
+		done := make([]bool, n)
+		gotOK := FixPointBatch(xs, limit, done, func(i int, x rt.Time) rt.Time { return fns[i](x) })
+		if gotOK != wantOK {
+			t.Fatalf("trial %d: batch ok=%v, per-view ok=%v", trial, gotOK, wantOK)
+		}
+		if !gotOK {
+			continue
+		}
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("trial %d: xs[%d] = %d, FixPoint = %d", trial, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFixPointBatchEmpty(t *testing.T) {
+	if !FixPointBatch(nil, 100, nil, func(int, rt.Time) rt.Time { panic("no members") }) {
+		t.Fatal("empty batch must converge trivially")
+	}
+}
+
+func TestFixPointBatchNonMonotoneStep(t *testing.T) {
+	xs := []rt.Time{5, 5}
+	done := make([]bool, 2)
+	ok := FixPointBatch(xs, 100, done, func(i int, x rt.Time) rt.Time {
+		if i == 1 {
+			return x - 1 // caller bug: must not certify convergence
+		}
+		return x
+	})
+	if ok {
+		t.Fatal("non-monotone member certified the batch")
+	}
+}
+
+func TestFixPointBatchLimit(t *testing.T) {
+	xs := []rt.Time{1, 1}
+	done := make([]bool, 2)
+	ok := FixPointBatch(xs, 10, done, func(i int, x rt.Time) rt.Time {
+		if i == 0 {
+			return 3 // converges well under the limit
+		}
+		return x + 7 // diverges past it
+	})
+	if ok {
+		t.Fatal("batch with a diverging member reported converged")
+	}
+}

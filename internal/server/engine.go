@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
@@ -52,6 +54,15 @@ type engine struct {
 
 	// testFn runs one analysis; tests swap it for counting/blocking hooks.
 	testFn func(m analysis.Method, ts *model.Taskset, opts analysis.Options) partition.Result
+
+	// scratch recycles analysis scratch arenas across requests: each worker
+	// checks one out for the duration of a single analysis (a Scratch serves
+	// one goroutine at a time), so a warmed-up server analyzes without
+	// rebuilding its working memory per request.
+	scratch sync.Pool
+	// latencyNS is an EWMA of recent analysis wall time (nanoseconds),
+	// feeding the computed Retry-After of backpressure responses.
+	latencyNS atomic.Int64
 
 	// Counters behind GET /v1/metrics.
 	requests    atomic.Int64
@@ -103,15 +114,63 @@ type Metrics struct {
 
 func newEngine(workers, cacheSize int, maxQueue int64, st *store.Store, br *store.Breaker) *engine {
 	workers = experiments.Workers(workers)
-	return &engine{
+	e := &engine{
 		workers:  workers,
 		maxQueue: maxQueue,
 		cache:    newLRU[*MethodResult](cacheSize),
 		st:       st,
 		br:       br,
 		slots:    make(chan struct{}, workers),
-		testFn:   analysis.Test,
 	}
+	e.scratch.New = func() any { return analysis.NewScratch() }
+	e.testFn = e.runTest
+	return e
+}
+
+// runTest is the default testFn: the analysis computes through a pooled
+// scratch, checked out for exactly one call.
+func (e *engine) runTest(m analysis.Method, ts *model.Taskset, opts analysis.Options) partition.Result {
+	sc := e.scratch.Get().(*analysis.Scratch)
+	defer e.scratch.Put(sc)
+	return analysis.TestWith(sc, m, ts, opts)
+}
+
+// observeLatency folds one analysis duration into the EWMA (alpha = 1/8).
+func (e *engine) observeLatency(d time.Duration) {
+	for {
+		old := e.latencyNS.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if e.latencyNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when capacity frees up: queued jobs drain
+// through the worker slots at roughly one recent-average latency each, so
+// the backlog clears in about queued*latency/workers. Clamped to [1, 60]
+// seconds — a saturated server should not promise sub-second retries it
+// cannot honor, nor park clients for minutes on a stale estimate.
+func (e *engine) retryAfterSeconds() int {
+	lat := e.latencyNS.Load()
+	if lat <= 0 {
+		return 1
+	}
+	queued := e.queued.Load()
+	if queued < 1 {
+		queued = 1
+	}
+	secs := (queued*lat/int64(e.workers) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return int(secs)
 }
 
 // tryAdmit reserves n analysis jobs against the queue bound. A false
@@ -193,7 +252,9 @@ func (e *engine) analyze(ctx context.Context, h model.Hash, ts *model.Taskset,
 		}
 		defer func() { <-e.slots }()
 		e.analyses.Add(1)
+		start := time.Now()
 		res := e.testFn(m, ts, opts)
+		e.observeLatency(time.Since(start))
 		mr := &MethodResult{
 			Schedulable: res.Schedulable,
 			WCRT:        res.WCRT,

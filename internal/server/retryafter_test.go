@@ -1,0 +1,87 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dpcpp/internal/analysis"
+	"dpcpp/internal/model"
+	"dpcpp/internal/rt"
+)
+
+// TestRetryAfterSeconds pins the backpressure estimate: no data yet means
+// 1s, otherwise ceil(queued*latency/workers) clamped to [1, 60].
+func TestRetryAfterSeconds(t *testing.T) {
+	e := newEngine(4, 8, 64, nil, nil)
+	if got := e.retryAfterSeconds(); got != 1 {
+		t.Errorf("no latency observed: got %d, want 1", got)
+	}
+
+	e.latencyNS.Store(int64(2 * time.Second))
+	e.queued.Store(8)
+	if got := e.retryAfterSeconds(); got != 4 { // 8 jobs * 2s / 4 workers
+		t.Errorf("backlog estimate: got %d, want 4", got)
+	}
+
+	// Sub-second backlogs still tell the client to wait a full second.
+	e.latencyNS.Store(int64(10 * time.Millisecond))
+	e.queued.Store(1)
+	if got := e.retryAfterSeconds(); got != 1 {
+		t.Errorf("small backlog: got %d, want 1", got)
+	}
+
+	// A pathological backlog is capped rather than extrapolated.
+	e.latencyNS.Store(int64(30 * time.Second))
+	e.queued.Store(1000)
+	if got := e.retryAfterSeconds(); got != 60 {
+		t.Errorf("huge backlog: got %d, want 60", got)
+	}
+}
+
+// TestObserveLatency checks the EWMA: the first sample is adopted as-is,
+// later samples move the estimate an eighth of the way.
+func TestObserveLatency(t *testing.T) {
+	e := newEngine(2, 8, 64, nil, nil)
+	e.observeLatency(800 * time.Millisecond)
+	if got := e.latencyNS.Load(); got != int64(800*time.Millisecond) {
+		t.Fatalf("first sample: got %d", got)
+	}
+	e.observeLatency(1600 * time.Millisecond)
+	want := int64(800*time.Millisecond) + int64(800*time.Millisecond)/8
+	if got := e.latencyNS.Load(); got != want {
+		t.Fatalf("second sample: got %d, want %d", got, want)
+	}
+}
+
+// TestPooledScratchConcurrency drives the engine's default testFn — the
+// pooled-scratch path — from many goroutines at once. Under -race this
+// fails if a Scratch is ever shared by two concurrent analyses; the
+// verdict comparison fails if recycled scratch state leaks between
+// tasksets.
+func TestPooledScratchConcurrency(t *testing.T) {
+	e := newEngine(4, 8, 1024, nil, nil)
+	tss := make([]*model.Taskset, 6)
+	for i := range tss {
+		tss[i] = testTaskset(t, rt.Time(i)*10*rt.Microsecond)
+	}
+	want := make([]bool, len(tss))
+	for i, ts := range tss {
+		want[i] = analysis.Test(analysis.DPCPpEP, ts, analysis.Options{}).Schedulable
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				i := (g + rep) % len(tss)
+				got := e.testFn(analysis.DPCPpEP, tss[i], analysis.Options{}).Schedulable
+				if got != want[i] {
+					t.Errorf("taskset %d: pooled verdict %v, want %v", i, got, want[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

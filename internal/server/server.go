@@ -67,6 +67,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -348,7 +349,7 @@ func (s *Server) finishAnalysis(w http.ResponseWriter, err error) bool {
 		return true
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		writeTimeout(w)
+		s.writeTimeout(w)
 	}
 	return false
 }
@@ -600,9 +601,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // writeTimeout emits the structured 503 timeout verdict: the analysis
 // overran its deadline and was abandoned; its work, if it had started,
-// still lands in the cache, so an immediate retry is likely to hit.
-func writeTimeout(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
+// still lands in the cache. Retry-After reflects the observed backlog
+// (queue depth times recent analysis latency) rather than a fixed second,
+// so clients back off in proportion to actual load.
+func (s *Server) writeTimeout(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.engine.retryAfterSeconds()))
 	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 		Error:   "analysis deadline exceeded; retry may hit the cache",
 		Code:    http.StatusServiceUnavailable,
@@ -622,7 +625,7 @@ func (s *Server) admit(w http.ResponseWriter, n int) bool {
 		return false
 	}
 	if !s.engine.tryAdmit(n) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.engine.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "analysis queue full, retry later")
 		return false
 	}
