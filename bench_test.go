@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
+	"dpcpp/internal/obs"
 	"dpcpp/internal/partition"
 	"dpcpp/internal/rt"
 	"dpcpp/internal/sim"
@@ -194,6 +196,53 @@ func BenchmarkAnalysisMethods(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				analysis.TestWith(sc, m, ts, analysis.Options{})
+			}
+		})
+	}
+}
+
+// benchStageRecorder mirrors the server engine's stage wiring: per-stage
+// obs histograms fed through the allocation-free scratch hooks.
+type benchStageRecorder struct {
+	h [analysis.NumStages]*obs.Histogram
+}
+
+func newBenchStageRecorder() *benchStageRecorder {
+	r := &benchStageRecorder{}
+	for i := range r.h {
+		r.h[i] = obs.NewHistogram(obs.DefaultLatencyBounds())
+	}
+	return r
+}
+
+func (r *benchStageRecorder) RecordStage(s analysis.Stage, d time.Duration) { r.h[s].Observe(d) }
+
+// BenchmarkInstrumentedAnalysis is BenchmarkAnalysisMethods for the two
+// DPCP-p methods with per-stage instrumentation enabled — the exact hot
+// path a production schedd runs. Gated by cmd/benchgate: its ns/op and
+// allocs/op versus the uninstrumented BenchmarkAnalysisMethods series pin
+// the observability overhead (allocs must stay identical).
+func BenchmarkInstrumentedAnalysis(b *testing.B) {
+	scen, _ := taskgen.Fig2Scenario("2a")
+	g := taskgen.NewGenerator(scen)
+	ts, err := g.Taskset(rand.New(rand.NewSource(1)), 6.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []analysis.Method{analysis.DPCPpEN, analysis.DPCPpEP} {
+		b.Run(string(m), func(b *testing.B) {
+			b.ReportAllocs()
+			sc := analysis.NewScratch()
+			rec := newBenchStageRecorder()
+			sc.SetStageRecorder(rec)
+			analysis.TestWith(sc, m, ts, analysis.Options{}) // warm the arenas
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				analysis.TestWith(sc, m, ts, analysis.Options{})
+			}
+			b.StopTimer()
+			if rec.h[analysis.StageRound].Count() == 0 {
+				b.Fatal("stage recorder saw no samples; instrumentation is dead")
 			}
 		})
 	}

@@ -36,10 +36,11 @@ func main() {
 }
 
 // defaultBench pins the CI benchmark subset: the analysis hot path (the
-// zero-allocation trajectory this gate exists for) and the view
-// enumeration engine under it. Fixed -benchtime iteration counts keep
-// allocs/op deterministic.
-const defaultBench = "BenchmarkAnalysisMethods|BenchmarkPathEnumeration"
+// zero-allocation trajectory this gate exists for), the view enumeration
+// engine under it, and the instrumented variant that pins the per-stage
+// observability overhead at zero extra allocations. Fixed -benchtime
+// iteration counts keep allocs/op deterministic.
+const defaultBench = "BenchmarkAnalysisMethods|BenchmarkPathEnumeration|BenchmarkInstrumentedAnalysis"
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {

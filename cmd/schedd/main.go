@@ -26,6 +26,15 @@
 // caps one request's analysis latency (0 = unbounded; requests can always
 // set their own timeout_ms).
 //
+// Observability: structured logs go to stderr (-log-level, -log-format
+// text|json), request latency / per-stage analysis histograms and every
+// service counter are exported in Prometheus text format at GET /metrics,
+// recent per-request trace spans at GET /v1/debug/traces (echoed as a
+// Server-Timing header), the access log is sampled (-access-log-sample N
+// logs every Nth request; 0 disables), and -pprof-addr serves
+// net/http/pprof on a separate listener so profiling is never exposed on
+// the service port. -version prints build info and exits.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // complete (bounded by -shutdown-timeout), new connections are refused,
 // and sweep jobs checkpoint so nothing is lost.
@@ -39,11 +48,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dpcpp/internal/obs"
 	"dpcpp/internal/server"
 )
 
@@ -76,8 +87,24 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		brProbe     = fs.Duration("store-breaker-probe", server.DefaultBreakerProbe, "recovery-probe interval while the store breaker is open")
 		ckSync      = fs.Bool("checkpoint-sync", true, "fsync sweep-job checkpoint writes (cache entries never sync)")
 		faultWrites = fs.Int("fault-writes", 0, "TESTING ONLY: fail the first N store writes with an injected I/O error")
+
+		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = fs.String("log-format", "text", "log format: text or json")
+		accessEvery = fs.Int("access-log-sample", 0, "log every Nth request (0 = no access log)")
+		traceBuffer = fs.Int("trace-buffer", server.DefaultTraceBuffer, "request-trace ring capacity behind GET /v1/debug/traces")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		version     = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stderr, "schedd "+obs.BuildInfo().String())
+		return 0
+	}
+	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -94,12 +121,34 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		StoreBreakerProbe:     *brProbe,
 		DisableCheckpointSync: !*ckSync,
 		FaultWrites:           *faultWrites,
+		Logger:                logger,
+		AccessLogEvery:        *accessEvery,
+		TraceBuffer:           *traceBuffer,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	defer srv.Close()
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener and mux: profiling endpoints never
+		// share the service port, and nothing leaks via http.DefaultServeMux.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer pln.Close()
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", httppprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go http.Serve(pln, pm)
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+	}
 	hs := &http.Server{
 		Handler: srv,
 		// ReadTimeout bounds the whole request read; bodies are small
@@ -117,7 +166,15 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "schedd: listening on %s\n", ln.Addr())
+	b := obs.BuildInfo()
+	logger.Info("schedd listening",
+		"addr", ln.Addr().String(),
+		"workers", *workers,
+		"store_dir", *storeDir,
+		"version", b.Version,
+		"revision", b.Revision,
+		"go", b.GoVersion,
+	)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -133,7 +190,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		return 1
 	case <-ctx.Done():
 		stop()
-		fmt.Fprintln(stderr, "schedd: shutting down")
+		logger.Info("schedd shutting down", "budget", (*shutTimeout).String())
 		sctx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
@@ -144,6 +201,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
+		logger.Info("schedd stopped")
 		return 0
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/audit"
 	"dpcpp/internal/experiments"
+	"dpcpp/internal/obs"
 	"dpcpp/internal/partition"
 	"dpcpp/internal/taskgen"
 )
@@ -52,8 +53,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget    = fs.Duration("budget", 0, "audit time budget (0 = none)")
 		report    = fs.String("report", "", "write the audit report as JSON to this file")
 		fixtures  = fs.String("fixtures", "audit-fixtures", "directory for shrunken audit counterexamples")
+
+		logLevel  = fs.String("log-level", "warn", "stderr log level: debug, info, warn, error")
+		logFormat = fs.String("log-format", "text", "stderr log format: text or json")
+		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "schedtest "+obs.BuildInfo().String())
+		return 0
+	}
+	// Structured logs go to stderr only; every artifact (curves, tables,
+	// audit verdicts) stays on stdout, byte-identical with logging off.
+	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -69,8 +85,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Methods:          ms,
 	}
 
+	mode := "usage"
 	switch {
 	case *doAudit:
+		mode = "audit"
+	case *fig != "":
+		mode = "fig"
+	case *tables:
+		mode = "tables"
+	case *ablation == "placement":
+		mode = "ablation"
+	}
+	start := time.Now()
+	logger.Info("schedtest run", "mode", mode, "n", *n, "seed", *seed, "pathcap", *pathCap)
+	defer func() {
+		logger.Info("schedtest done", "mode", mode, "elapsed", time.Since(start).String())
+	}()
+
+	switch mode {
+	case "audit":
 		return runAudit(audit.Config{
 			Count:      *n,
 			Seed:       *seed,
@@ -79,11 +112,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			FixtureDir: *fixtures,
 			PathCap:    *pathCap,
 		}, *report, stdout, stderr)
-	case *fig != "":
+	case "fig":
 		return runFig(tmpl, *fig, *csvPath, stdout, stderr)
-	case *tables:
+	case "tables":
 		return runTables(tmpl, *scenarios, *csvPath, stdout, stderr)
-	case *ablation == "placement":
+	case "ablation":
 		return runPlacementAblation(tmpl, stdout, stderr)
 	default:
 		fs.Usage()

@@ -63,11 +63,13 @@ func newDPCPp(sc *Scratch, ts *model.Taskset, pathCap int, en bool) *DPCPp {
 // this analyzer; internal/partition copies it into every Result it hands
 // out.
 func (a *DPCPp) WCRTs(p *partition.Partition) map[rt.TaskID]rt.Time {
+	round := a.sc.stageStart()
 	wcrts := a.sc.wcrts
 	clear(wcrts)
 	for _, t := range a.byPrio {
 		wcrts[t.ID] = a.taskWCRT(p, t, wcrts)
 	}
+	a.sc.stageEnd(StageRound, round)
 	return wcrts
 }
 
@@ -84,7 +86,9 @@ type pathView struct {
 func (a *DPCPp) pathViews(t *model.Task) []pathView {
 	c, ok := a.sc.viewCache[t.ID]
 	if !ok {
+		start := a.sc.stageStart()
 		c = a.buildViews(t)
+		a.sc.stageEnd(StageViews, start)
 		a.sc.viewCache[t.ID] = c
 	}
 	if c.fallback {
@@ -401,6 +405,7 @@ func (a *DPCPp) taskWCRT(p *partition.Partition, t *model.Task,
 		}
 	}
 
+	fixStart := s.stageStart()
 	ok := rta.FixPointBatch(xs, t.Deadline, done, func(vi int, r rt.Time) rt.Time {
 		v := &views[vi]
 		ve := eps[vi*np : (vi+1)*np]
@@ -423,6 +428,7 @@ func (a *DPCPp) taskWCRT(p *partition.Partition, t *model.Task,
 		// interfere with their full WCET (partitioned fixed-priority).
 		return rt.SatAdd(sum, etaSum(ctx.hpShared, r))
 	})
+	s.stageEnd(StageFixPoint, fixStart)
 	if !ok {
 		// One diverged view dooms the task either way; per-view results are
 		// irrelevant past this point, exactly like the early exit of the

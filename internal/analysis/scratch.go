@@ -1,9 +1,54 @@
 package analysis
 
 import (
+	"time"
+
 	"dpcpp/internal/model"
 	"dpcpp/internal/rt"
 )
+
+// Stage identifies one timed phase of the Theorem 1 pipeline for the
+// optional per-stage instrumentation (see StageRecorder).
+type Stage uint8
+
+const (
+	// StageViews is per-task path-view construction: EnumerateViews (EP)
+	// or the path-bounds DP (EN), timed only on view-cache misses.
+	StageViews Stage = iota
+	// StageFixPoint is the batched response-time fixed-point iteration of
+	// one task's view set (rta.FixPointBatch inside taskWCRT).
+	StageFixPoint
+	// StageRound is one full WCRTs pass over the taskset — one round of
+	// the partitioning loop.
+	StageRound
+	// NumStages sizes recorder arrays.
+	NumStages
+)
+
+// String returns the stage's metric-label name.
+func (s Stage) String() string {
+	switch s {
+	case StageViews:
+		return "views"
+	case StageFixPoint:
+		return "fixpoint"
+	case StageRound:
+		return "round"
+	default:
+		return "unknown"
+	}
+}
+
+// StageRecorder receives per-stage analysis durations. Implementations
+// must be allocation-free and safe for use from whichever single goroutine
+// owns the Scratch (the server feeds lock-free histograms, which are
+// additionally safe across goroutines). Both arguments are word-sized, so
+// calls never box; with no recorder installed the hooks cost a nil check.
+// The zero-alloc gates (TestWCRTsZeroAllocEN/EP) run with a recorder
+// installed, pinning that instrumentation stays free on the hot path.
+type StageRecorder interface {
+	RecordStage(s Stage, d time.Duration)
+}
 
 // arena is a typed bump allocator over a reusable backing array. alloc
 // hands out full-slice-capped chunks so a later append on one chunk can
@@ -92,6 +137,32 @@ type Scratch struct {
 	bools      arena[bool]
 	epsMemo    map[epsKey]rt.Time
 	sharedView [1]pathView
+
+	// rec, when non-nil, receives per-stage pipeline timings. It survives
+	// every reset: instrumentation is a property of the Scratch's owner
+	// (a server engine, a pool worker), not of one analysis.
+	rec StageRecorder
+}
+
+// SetStageRecorder installs (or removes, with nil) the per-stage timing
+// recorder. Recording must be allocation-free; see StageRecorder.
+func (s *Scratch) SetStageRecorder(r StageRecorder) { s.rec = r }
+
+// stageStart opens a stage timing region; zero-cost (beyond a nil check)
+// without a recorder.
+func (s *Scratch) stageStart() time.Time {
+	if s.rec == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stageEnd closes a region opened by stageStart.
+func (s *Scratch) stageEnd(st Stage, start time.Time) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.RecordStage(st, time.Since(start))
 }
 
 // NewScratch returns an empty Scratch ready for TestWith. The zero value is

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Registry renders a fixed set of metrics as Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the repository stays
+// dependency-free. Metrics are registered once at startup with read
+// functions (counters and gauges) or a *Histogram; WriteTo samples them at
+// scrape time. Registration is not safe for concurrent use with WriteTo —
+// register everything before serving.
+//
+// Families may carry multiple label sets (e.g. one request-latency series
+// per endpoint): register the same name repeatedly with distinct labels,
+// and WriteTo emits one # HELP/# TYPE header per family followed by every
+// series, grouped regardless of registration order.
+type Registry struct {
+	metrics []metric
+}
+
+type metric struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels string // preformatted `k="v",k2="v2"` or ""
+	intVal func() int64
+	val    func() float64
+	hist   *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotone counter read through fn.
+func (r *Registry) Counter(name, help string, fn func() int64) {
+	r.CounterL(name, "", help, fn)
+}
+
+// CounterL is Counter with a label set (`k="v"` pairs, comma-separated,
+// already escaped).
+func (r *Registry) CounterL(name, labels, help string, fn func() int64) {
+	r.metrics = append(r.metrics, metric{name: name, help: help, typ: "counter", labels: labels, intVal: fn})
+}
+
+// Gauge registers a point-in-time value read through fn.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.GaugeL(name, "", help, fn)
+}
+
+// GaugeL is Gauge with a label set.
+func (r *Registry) GaugeL(name, labels, help string, fn func() float64) {
+	r.metrics = append(r.metrics, metric{name: name, help: help, typ: "gauge", labels: labels, val: fn})
+}
+
+// Histogram registers a histogram series; durations are exposed in
+// seconds, per Prometheus convention.
+func (r *Registry) Histogram(name, help string, h *Histogram) {
+	r.HistogramL(name, "", help, h)
+}
+
+// HistogramL is Histogram with a label set.
+func (r *Registry) HistogramL(name, labels, help string, h *Histogram) {
+	r.metrics = append(r.metrics, metric{name: name, help: help, typ: "histogram", labels: labels, hist: h})
+}
+
+// WriteTo renders the registry in Prometheus text exposition format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	// Group series into families by name, preserving first-registration
+	// order for stable scrapes.
+	order := make([]string, 0, len(r.metrics))
+	families := make(map[string][]*metric, len(r.metrics))
+	for i := range r.metrics {
+		m := &r.metrics[i]
+		if _, ok := families[m.name]; !ok {
+			order = append(order, m.name)
+		}
+		families[m.name] = append(families[m.name], m)
+	}
+	var b strings.Builder
+	for _, name := range order {
+		fam := families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(fam[0].help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, fam[0].typ)
+		for _, m := range fam {
+			switch m.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", name, braced(m.labels), m.intVal())
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %s\n", name, braced(m.labels), formatFloat(m.val()))
+			case "histogram":
+				writeHistogram(&b, name, m.labels, m.hist.Snapshot())
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func writeHistogram(b *strings.Builder, name, labels string, s HistogramSnapshot) {
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			braced(joinLabels(labels, `le="`+formatFloat(float64(bound)/1e9)+`"`)), s.Counts[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le="+Inf"`)), s.Count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, braced(labels), formatFloat(float64(s.SumNS)/1e9))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(labels), s.Count)
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Label builds one escaped `k="v"` pair for the *L registration variants.
+func Label(k, v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return k + `="` + v + `"`
+}
+
+// Labels builds an escaped label set from alternating key, value
+// arguments: Labels("endpoint", "grid") -> `endpoint="grid"`. A trailing
+// odd key is ignored.
+func Labels(kv ...string) string {
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, Label(kv[i], kv[i+1]))
+	}
+	return strings.Join(pairs, ",")
+}

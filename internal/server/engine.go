@@ -12,6 +12,7 @@ import (
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
 	"dpcpp/internal/model"
+	"dpcpp/internal/obs"
 	"dpcpp/internal/partition"
 	"dpcpp/internal/store"
 )
@@ -58,11 +59,17 @@ type engine struct {
 	// scratch recycles analysis scratch arenas across requests: each worker
 	// checks one out for the duration of a single analysis (a Scratch serves
 	// one goroutine at a time), so a warmed-up server analyzes without
-	// rebuilding its working memory per request.
+	// rebuilding its working memory per request. Every pooled Scratch
+	// carries the engine's stage recorder, so per-stage pipeline timings
+	// flow into the histograms without per-request wiring.
 	scratch sync.Pool
-	// latencyNS is an EWMA of recent analysis wall time (nanoseconds),
-	// feeding the computed Retry-After of backpressure responses.
-	latencyNS atomic.Int64
+	// latency is the analysis wall-time distribution; its built-in EWMA
+	// feeds the computed Retry-After of backpressure responses, replacing
+	// the ad-hoc accumulator that used to live beside it.
+	latency *obs.Histogram
+	// stages holds the per-stage Theorem 1 pipeline histograms, fed by the
+	// allocation-free scratch hooks (analysis.StageRecorder).
+	stages *stageRecorder
 
 	// Counters behind GET /v1/metrics.
 	requests    atomic.Int64
@@ -121,11 +128,35 @@ func newEngine(workers, cacheSize int, maxQueue int64, st *store.Store, br *stor
 		st:       st,
 		br:       br,
 		slots:    make(chan struct{}, workers),
+		latency:  obs.NewHistogram(obs.DefaultLatencyBounds()),
+		stages:   newStageRecorder(),
 	}
-	e.scratch.New = func() any { return analysis.NewScratch() }
+	e.scratch.New = func() any {
+		sc := analysis.NewScratch()
+		sc.SetStageRecorder(e.stages)
+		return sc
+	}
 	e.testFn = e.runTest
 	return e
 }
+
+// stageRecorder adapts the engine's per-stage histograms to the
+// analysis.StageRecorder hook. The histograms are lock-free, so one
+// recorder is shared by every pooled Scratch; recording is allocation-free
+// (pinned by the analysis package's zero-alloc gates).
+type stageRecorder struct {
+	h [analysis.NumStages]*obs.Histogram
+}
+
+func newStageRecorder() *stageRecorder {
+	r := &stageRecorder{}
+	for i := range r.h {
+		r.h[i] = obs.NewHistogram(obs.DefaultLatencyBounds())
+	}
+	return r
+}
+
+func (r *stageRecorder) RecordStage(s analysis.Stage, d time.Duration) { r.h[s].Observe(d) }
 
 // runTest is the default testFn: the analysis computes through a pooled
 // scratch, checked out for exactly one call.
@@ -135,27 +166,16 @@ func (e *engine) runTest(m analysis.Method, ts *model.Taskset, opts analysis.Opt
 	return analysis.TestWith(sc, m, ts, opts)
 }
 
-// observeLatency folds one analysis duration into the EWMA (alpha = 1/8).
-func (e *engine) observeLatency(d time.Duration) {
-	for {
-		old := e.latencyNS.Load()
-		next := int64(d)
-		if old != 0 {
-			next = old + (int64(d)-old)/8
-		}
-		if e.latencyNS.CompareAndSwap(old, next) {
-			return
-		}
-	}
-}
-
 // retryAfterSeconds estimates when capacity frees up: queued jobs drain
 // through the worker slots at roughly one recent-average latency each, so
-// the backlog clears in about queued*latency/workers. Clamped to [1, 60]
-// seconds — a saturated server should not promise sub-second retries it
-// cannot honor, nor park clients for minutes on a stale estimate.
+// the backlog clears in about queued*latency/workers. The recent average
+// is the latency histogram's EWMA — the same recorder that feeds
+// /metrics, so the estimate and the exported distribution can never
+// drift apart. Clamped to [1, 60] seconds — a saturated server should
+// not promise sub-second retries it cannot honor, nor park clients for
+// minutes on a stale estimate.
 func (e *engine) retryAfterSeconds() int {
-	lat := e.latencyNS.Load()
+	lat := int64(e.latency.EWMA())
 	if lat <= 0 {
 		return 1
 	}
@@ -222,12 +242,19 @@ func (e *engine) analyze(ctx context.Context, h model.Hash, ts *model.Taskset,
 	// Only DPCP-p-EP ever carries a breakdown, so the explain flag must
 	// not fork the cache key (or re-run the analysis) of any other method.
 	explain = explain && m == analysis.DPCPpEP
+	// The flight function runs under a Background-derived context (the
+	// computation outlives any one caller), so the caller's trace must be
+	// captured here and closed over — it cannot be recovered from fctx.
+	tr := obs.TraceFromContext(ctx)
 	key := cacheKey(h, m, opts, explain)
+	cacheStart := time.Now()
 	if v, ok := e.cache.get(key); ok {
 		e.cacheHits.Add(1)
+		tr.AddSpan("cache", cacheStart)
 		return v, nil
 	}
 	e.cacheMisses.Add(1)
+	flightStart := time.Now()
 	v, err, shared := e.flight.do(ctx, key, func(fctx context.Context) (*MethodResult, error) {
 		// A racing flight may have completed — and cached — between this
 		// caller's cache miss and registering the flight; re-check before
@@ -239,8 +266,10 @@ func (e *engine) analyze(ctx context.Context, h model.Hash, ts *model.Taskset,
 		// The persistent store is the next layer down: a result computed in
 		// a previous process lifetime costs a disk read, not an analysis or
 		// a worker slot.
+		storeStart := time.Now()
 		if mr := e.storeGet(key); mr != nil {
 			e.cache.add(key, mr)
+			tr.AddSpan("store", storeStart)
 			return mr, nil
 		}
 		select {
@@ -254,7 +283,8 @@ func (e *engine) analyze(ctx context.Context, h model.Hash, ts *model.Taskset,
 		e.analyses.Add(1)
 		start := time.Now()
 		res := e.testFn(m, ts, opts)
-		e.observeLatency(time.Since(start))
+		e.latency.Observe(time.Since(start))
+		tr.AddSpan("analysis", start)
 		mr := &MethodResult{
 			Schedulable: res.Schedulable,
 			WCRT:        res.WCRT,
@@ -274,6 +304,9 @@ func (e *engine) analyze(ctx context.Context, h model.Hash, ts *model.Taskset,
 	})
 	if shared {
 		e.coalesced.Add(1)
+		// A coalesced waiter did not run the flight body, so its trace has
+		// no store/analysis spans; the flight span covers the whole wait.
+		tr.AddSpan("flight", flightStart)
 	}
 	if err != nil {
 		e.noteAbort(err)

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -347,6 +348,10 @@ func (r *jobRegistry) load() error {
 		switch j.cp.State {
 		case sweepDone, sweepFailed:
 			// Terminal: list only.
+			if j.cp.State == sweepFailed {
+				r.log().LogAttrs(context.Background(), slog.LevelWarn, "sweep checkpoint unusable",
+					slog.String("sweep_id", j.cp.ID), slog.String("error", j.cp.Error))
+			}
 		default:
 			if r.srv.cfg.DisableResume {
 				j.cp.State = sweepPaused
@@ -358,6 +363,9 @@ func (r *jobRegistry) load() error {
 					j.cp.State = sweepPaused
 				}
 			}
+			r.log().LogAttrs(context.Background(), slog.LevelInfo, "sweep checkpoint loaded",
+				slog.String("sweep_id", j.cp.ID), slog.String("state", j.cp.State),
+				slog.Int("scenarios", len(j.cp.Spec.Scenarios)))
 		}
 		r.jobs[j.cp.ID] = j
 		r.order = append(r.order, j.cp.ID)
@@ -397,8 +405,14 @@ func (r *jobRegistry) submit(spec sweepSpec) (*sweepJob, error) {
 	r.mu.Unlock()
 	r.submitted.Add(1)
 	r.checkpoint(j)
+	r.log().LogAttrs(context.Background(), slog.LevelInfo, "sweep submitted",
+		slog.String("sweep_id", j.cp.ID), slog.Int("scenarios", len(spec.Scenarios)),
+		slog.Int("n", spec.N), slog.Int64("seed", spec.Seed))
 	return j, nil
 }
+
+// log returns the registry's structured logger (the server's base logger).
+func (r *jobRegistry) log() *slog.Logger { return r.srv.obs.log }
 
 var errSweepQueueFull = fmt.Errorf("sweep queue full (%d jobs pending), retry later", maxSweepJobs)
 
@@ -462,6 +476,9 @@ func (r *jobRegistry) runJob(j *sweepJob) {
 		j.mu.Unlock()
 	}()
 	r.checkpoint(j)
+	start := time.Now()
+	r.log().LogAttrs(ctx, slog.LevelInfo, "sweep running",
+		slog.String("sweep_id", j.cp.ID), slog.Int("scenarios", len(j.scens)))
 
 	for si := range j.scens {
 		j.mu.Lock()
@@ -533,6 +550,11 @@ func (r *jobRegistry) runJob(j *sweepJob) {
 	if finished {
 		r.completed.Add(1)
 		r.checkpoint(j)
+		r.log().LogAttrs(context.Background(), slog.LevelInfo, "sweep done",
+			slog.String("sweep_id", j.cp.ID), slog.Duration("elapsed", time.Since(start)))
+	} else {
+		r.log().LogAttrs(context.Background(), slog.LevelInfo, "sweep interrupted",
+			slog.String("sweep_id", j.cp.ID), slog.Duration("elapsed", time.Since(start)))
 	}
 }
 
@@ -595,6 +617,8 @@ func (r *jobRegistry) checkpointLocked(j *sweepJob) {
 	}
 	if err != nil {
 		r.srv.engine.storeErrors.Add(1)
+		r.log().LogAttrs(context.Background(), slog.LevelWarn, "sweep checkpoint write failed",
+			slog.String("sweep_id", id), slog.String("error", err.Error()))
 		return
 	}
 	j.lastCk = time.Now()
@@ -635,6 +659,8 @@ func (r *jobRegistry) delete(id string) bool {
 		os.Remove(filepath.Join(r.jobsDir, id+".json"))
 		j.ckmu.Unlock()
 	}
+	r.log().LogAttrs(context.Background(), slog.LevelInfo, "sweep canceled",
+		slog.String("sweep_id", id))
 	return true
 }
 

@@ -11,46 +11,55 @@ import (
 )
 
 // TestRetryAfterSeconds pins the backpressure estimate: no data yet means
-// 1s, otherwise ceil(queued*latency/workers) clamped to [1, 60].
+// 1s, otherwise ceil(queued*latency/workers) clamped to [1, 60]. The
+// latency source is the engine's histogram EWMA — the same recorder behind
+// /metrics — so each case seeds a fresh engine through Observe (a first
+// sample is adopted as the EWMA verbatim; see obs.Histogram).
 func TestRetryAfterSeconds(t *testing.T) {
-	e := newEngine(4, 8, 64, nil, nil)
-	if got := e.retryAfterSeconds(); got != 1 {
-		t.Errorf("no latency observed: got %d, want 1", got)
-	}
-
-	e.latencyNS.Store(int64(2 * time.Second))
-	e.queued.Store(8)
-	if got := e.retryAfterSeconds(); got != 4 { // 8 jobs * 2s / 4 workers
-		t.Errorf("backlog estimate: got %d, want 4", got)
-	}
-
-	// Sub-second backlogs still tell the client to wait a full second.
-	e.latencyNS.Store(int64(10 * time.Millisecond))
-	e.queued.Store(1)
-	if got := e.retryAfterSeconds(); got != 1 {
-		t.Errorf("small backlog: got %d, want 1", got)
-	}
-
-	// A pathological backlog is capped rather than extrapolated.
-	e.latencyNS.Store(int64(30 * time.Second))
-	e.queued.Store(1000)
-	if got := e.retryAfterSeconds(); got != 60 {
-		t.Errorf("huge backlog: got %d, want 60", got)
+	for _, tc := range []struct {
+		name    string
+		latency time.Duration // 0 = no samples observed yet
+		queued  int64
+		want    int
+	}{
+		{"no latency observed", 0, 8, 1},
+		{"backlog estimate", 2 * time.Second, 8, 4}, // 8 jobs * 2s / 4 workers
+		// Sub-second backlogs still tell the client to wait a full second.
+		{"small backlog", 10 * time.Millisecond, 1, 1},
+		// A pathological backlog is capped rather than extrapolated.
+		{"huge backlog", 30 * time.Second, 1000, 60},
+	} {
+		e := newEngine(4, 8, 64, nil, nil)
+		if tc.latency > 0 {
+			e.latency.Observe(tc.latency)
+		}
+		e.queued.Store(tc.queued)
+		if got := e.retryAfterSeconds(); got != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }
 
-// TestObserveLatency checks the EWMA: the first sample is adopted as-is,
-// later samples move the estimate an eighth of the way.
-func TestObserveLatency(t *testing.T) {
-	e := newEngine(2, 8, 64, nil, nil)
-	e.observeLatency(800 * time.Millisecond)
-	if got := e.latencyNS.Load(); got != int64(800*time.Millisecond) {
-		t.Fatalf("first sample: got %d", got)
+// TestRetryAfterTracksHistogram pins the satellite invariant: Retry-After
+// is computed from the latency histogram's EWMA, so observations through
+// the one recorder move the estimate — there is no separate accumulator to
+// drift.
+func TestRetryAfterTracksHistogram(t *testing.T) {
+	e := newEngine(4, 8, 64, nil, nil)
+	e.queued.Store(4)
+	e.latency.Observe(8 * time.Second)          // adopted: EWMA = 8s
+	if got := e.retryAfterSeconds(); got != 8 { // 4 jobs * 8s / 4 workers
+		t.Fatalf("after first observation: got %d, want 8", got)
 	}
-	e.observeLatency(1600 * time.Millisecond)
-	want := int64(800*time.Millisecond) + int64(800*time.Millisecond)/8
-	if got := e.latencyNS.Load(); got != want {
-		t.Fatalf("second sample: got %d, want %d", got, want)
+	// Many fast analyses pull the EWMA — and the promise — down.
+	for i := 0; i < 200; i++ {
+		e.latency.Observe(time.Millisecond)
+	}
+	if got := e.retryAfterSeconds(); got != 1 {
+		t.Fatalf("after fast observations: got %d, want 1", got)
+	}
+	if e.latency.Count() != 201 {
+		t.Fatalf("histogram count = %d, want 201 (same recorder feeds /metrics)", e.latency.Count())
 	}
 }
 

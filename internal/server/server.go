@@ -32,8 +32,25 @@
 //	GET  /v1/sweeps/{id}    sweep-job progress
 //	GET  /v1/sweeps/{id}/results  completed acceptance curves
 //	DELETE /v1/sweeps/{id}  cancel and forget a sweep job
-//	GET  /v1/metrics        cache/coalescing/admission/store counters
+//	GET  /v1/metrics        cache/coalescing/admission/store counters (JSON)
+//	GET  /metrics           the same state as Prometheus text exposition,
+//	                        plus request/stage latency histograms
+//	GET  /v1/debug/traces   recent per-request trace spans, newest first
 //	GET  /healthz           liveness (200 even when degraded; see body)
+//
+// # Observability
+//
+// Every request is traced: a generated request ID is echoed as
+// X-Request-ID, per-phase spans (cache probe, singleflight wait, store
+// read, analysis) are captured into a bounded ring served by
+// GET /v1/debug/traces and summarized in a Server-Timing response header.
+// Latencies feed lock-free fixed-bucket histograms — per endpoint, per
+// analysis, and per pipeline stage (view enumeration, fixed-point
+// iteration, partition rounds) via allocation-free scratch hooks — all
+// exported at GET /metrics in Prometheus text format. Structured logs
+// (Config.Logger) carry the request ID plus sweep-job lifecycle and
+// store degraded-mode transitions; access logging is sampled
+// (Config.AccessLogEvery).
 //
 // # Deadlines and cancellation
 //
@@ -66,6 +83,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -74,6 +92,7 @@ import (
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
 	"dpcpp/internal/model"
+	"dpcpp/internal/obs"
 	"dpcpp/internal/store"
 )
 
@@ -141,6 +160,17 @@ type Config struct {
 	// testing of degraded mode through the real binary. Never set it in
 	// production.
 	FaultWrites int
+	// Logger receives the server's structured logs (request access lines,
+	// sweep-job lifecycle, degraded-mode transitions). Nil discards them —
+	// the server never writes to a default destination on its own.
+	Logger *slog.Logger
+	// AccessLogEvery samples the access log: every N-th completed request
+	// emits one structured line on Logger. 0 (the default) disables access
+	// logging; 1 logs every request.
+	AccessLogEvery int
+	// TraceBuffer is the capacity of the request-trace ring behind
+	// GET /v1/debug/traces (<= 0 = 256).
+	TraceBuffer int
 
 	// storeHooks, when non-nil, is installed on the opened store before
 	// any checkpoint is read or written; the chaos suite schedules faults
@@ -195,6 +225,9 @@ type Server struct {
 	// the body, so this is safe and turns the hit path into a hash plus a
 	// write.
 	fast *lru[fastResponse]
+	// obs is the observability layer: base logger, Prometheus registry,
+	// request-trace ring and per-endpoint latency histograms (see obs.go).
+	obs *serverObs
 }
 
 // New builds a Server. It is ready to serve immediately; wire it into an
@@ -225,11 +258,16 @@ func New(cfg Config) (*Server, error) {
 		engine: newEngine(cfg.Workers, cfg.CacheSize, int64(cfg.MaxQueue), st, br),
 		mux:    http.NewServeMux(),
 		fast:   newLRU[fastResponse](cfg.CacheSize),
+		obs:    newServerObs(cfg.Logger, cfg.AccessLogEvery, cfg.TraceBuffer),
+	}
+	if br != nil {
+		s.observeBreaker(br)
 	}
 	var err error
 	if s.jobs, err = newJobRegistry(s, st); err != nil {
 		return nil, err
 	}
+	s.registerMetrics()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
@@ -239,6 +277,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	s.mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
 }
@@ -279,7 +319,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// still cannot pin the connection (http.Server.WriteTimeout would kill
 	// both).
 	s.bumpWriteDeadline(w)
-	s.mux.ServeHTTP(w, r)
+	s.observe(w, r)
 }
 
 // bumpWriteDeadline extends the connection's write deadline by the
@@ -309,6 +349,9 @@ type healthResponse struct {
 	OK         bool   `json:"ok"`
 	Degraded   bool   `json:"degraded,omitempty"`
 	StoreState string `json:"store_state,omitempty"`
+	// Build identifies the serving binary (module version, VCS revision,
+	// Go toolchain), so operators can tell which build answered.
+	Build obs.Build `json:"build"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -317,6 +360,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OK:         true,
 		Degraded:   st == store.BreakerOpen || st == store.BreakerHalfOpen,
 		StoreState: st,
+		Build:      obs.BuildInfo(),
 	})
 }
 

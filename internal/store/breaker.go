@@ -35,6 +35,11 @@ type Breaker struct {
 	consecutive int
 	nextProbe   time.Time
 	trips       int64
+
+	// onTransition, when set, observes every state change (from, to are
+	// Breaker* state names). Invoked outside the breaker's mutex so
+	// observers may call back into State/Trips; set it before first use.
+	onTransition func(from, to string)
 }
 
 // NewBreaker returns a breaker that opens after threshold consecutive
@@ -50,6 +55,39 @@ func NewBreaker(threshold int, probe time.Duration) *Breaker {
 	return &Breaker{threshold: threshold, probe: probe, now: time.Now}
 }
 
+// OnTransition registers an observer for state changes (degraded-mode
+// entry and exit, probe admissions). The callback runs outside the
+// breaker's mutex, on whichever goroutine drove the transition. Call
+// before the breaker is shared; a nil callback removes the observer.
+func (b *Breaker) OnTransition(fn func(from, to string)) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+// stateLocked is State's body; callers hold b.mu.
+func (b *Breaker) stateLocked() string {
+	switch {
+	case !b.open:
+		return BreakerClosed
+	case b.probing:
+		return BreakerHalfOpen
+	default:
+		return BreakerOpen
+	}
+}
+
+// notify invokes the transition observer after a mutation; call with the
+// mutex released.
+func (b *Breaker) notify(fn func(from, to string), from, to string) {
+	if fn != nil && from != to {
+		fn(from, to)
+	}
+}
+
 // Allow reports whether the caller may touch the store. While open, it
 // admits exactly one caller per probe interval (the half-open probe); that
 // caller must Record its outcome, or the breaker stays open until the next
@@ -59,14 +97,19 @@ func (b *Breaker) Allow() bool {
 		return true
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if !b.open {
+		b.mu.Unlock()
 		return true
 	}
 	if !b.probing && !b.now().Before(b.nextProbe) {
+		from := b.stateLocked()
 		b.probing = true
+		to, fn := b.stateLocked(), b.onTransition
+		b.mu.Unlock()
+		b.notify(fn, from, to)
 		return true
 	}
+	b.mu.Unlock()
 	return false
 }
 
@@ -80,27 +123,28 @@ func (b *Breaker) Record(err error) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.stateLocked()
 	if err == nil {
 		b.open = false
 		b.probing = false
 		b.consecutive = 0
-		return
-	}
-	if b.open {
+	} else if b.open {
 		if b.probing {
 			b.probing = false
 			b.nextProbe = b.now().Add(b.probe)
 		}
-		return
+	} else {
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.open = true
+			b.probing = false
+			b.trips++
+			b.nextProbe = b.now().Add(b.probe)
+		}
 	}
-	b.consecutive++
-	if b.consecutive >= b.threshold {
-		b.open = true
-		b.probing = false
-		b.trips++
-		b.nextProbe = b.now().Add(b.probe)
-	}
+	to, fn := b.stateLocked(), b.onTransition
+	b.mu.Unlock()
+	b.notify(fn, from, to)
 }
 
 // State returns the breaker's current state name ("" on a nil breaker).
@@ -110,14 +154,7 @@ func (b *Breaker) State() string {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	switch {
-	case !b.open:
-		return BreakerClosed
-	case b.probing:
-		return BreakerHalfOpen
-	default:
-		return BreakerOpen
-	}
+	return b.stateLocked()
 }
 
 // Trips returns how many times the breaker has opened.
