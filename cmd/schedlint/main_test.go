@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and chdirs into it, since run()
+// loads packages relative to the working directory.
+func writeModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmplint\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+}
+
+const cleanSrc = `package clean
+
+func Add(a, b int) int { return a + b }
+`
+
+// dirtySrc is the construct the CI self-test injects: an unsorted map
+// range feeding serialized output.
+const dirtySrc = `package dirty
+
+import "fmt"
+
+func Dump(m map[string]int) string {
+	var out string
+	for k, v := range m {
+		out += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return out
+}
+`
+
+func TestRunClean(t *testing.T) {
+	writeModule(t, map[string]string{"clean.go": cleanSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on a clean module, want 0\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote to stdout: %s", &stdout)
+	}
+}
+
+func TestRunFindings(t *testing.T) {
+	writeModule(t, map[string]string{"dirty.go": dirtySrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d with findings present, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "determinism: map iteration order reaches serialized output") {
+		t.Errorf("finding not reported:\n%s", &stdout)
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("missing stderr summary: %s", &stderr)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	writeModule(t, map[string]string{"dirty.go": dirtySrc, "clean.go": strings.Replace(cleanSrc, "package clean", "package dirty", 1)})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, &stderr)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, &stdout)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "determinism" || findings[0].Line != 7 {
+		t.Errorf("unexpected findings: %+v", findings)
+	}
+}
+
+func TestRunJSONClean(t *testing.T) {
+	writeModule(t, map[string]string{"clean.go": cleanSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, &stderr)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output %q, want []", got)
+	}
+}
+
+func TestRunLoadError(t *testing.T) {
+	writeModule(t, map[string]string{"broken.go": "package broken\n\nfunc f() { return undefinedIdent }\n"})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d on a package that does not typecheck, want 2\nstderr: %s", code, &stderr)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d on a bad flag, want 2", code)
+	}
+}

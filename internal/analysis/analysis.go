@@ -5,6 +5,8 @@
 // (suspension-based semaphores) and FED-FP (federated scheduling ignoring
 // resources). Each analysis plugs into the partitioning loop of
 // internal/partition as a partition.Analyzer.
+//
+//schedlint:deterministic
 package analysis
 
 import (

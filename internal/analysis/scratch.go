@@ -66,14 +66,17 @@ type arena[T any] struct {
 	off int
 }
 
+//schedlint:hotpath
 func (a *arena[T]) reset() { a.off = 0 }
 
+//schedlint:hotpath
 func (a *arena[T]) alloc(n int) []T {
 	if a.off+n > len(a.buf) {
 		size := 2 * (a.off + n)
 		if size < 64 {
 			size = 64
 		}
+		//schedlint:ignore hotpath amortized arena growth; steady-state calls reuse the existing backing
 		a.buf = make([]T, size)
 		a.off = 0
 	}
@@ -84,6 +87,8 @@ func (a *arena[T]) alloc(n int) []T {
 
 // allocZero is alloc with the chunk cleared, for callers that rely on
 // zero-valued entries they do not explicitly write.
+//
+//schedlint:hotpath
 func (a *arena[T]) allocZero(n int) []T {
 	c := a.alloc(n)
 	clear(c)
@@ -150,18 +155,24 @@ func (s *Scratch) SetStageRecorder(r StageRecorder) { s.rec = r }
 
 // stageStart opens a stage timing region; zero-cost (beyond a nil check)
 // without a recorder.
+//
+//schedlint:hotpath
 func (s *Scratch) stageStart() time.Time {
 	if s.rec == nil {
 		return time.Time{}
 	}
+	//schedlint:ignore determinism stage timing feeds the StageRecorder observability hook, never the analysis verdict
 	return time.Now()
 }
 
 // stageEnd closes a region opened by stageStart.
+//
+//schedlint:hotpath
 func (s *Scratch) stageEnd(st Stage, start time.Time) {
 	if s.rec == nil {
 		return
 	}
+	//schedlint:ignore determinism stage timing feeds the StageRecorder observability hook, never the analysis verdict
 	s.rec.RecordStage(st, time.Since(start))
 }
 
@@ -179,6 +190,8 @@ func NewScratch() *Scratch {
 // analyzerReset recycles the analyzer-lifetime region for a fresh analyzer.
 // Map buckets and arena backings survive, so an analyzer over a
 // previously-seen taskset shape allocates nothing.
+//
+//schedlint:hotpath
 func (s *Scratch) analyzerReset() {
 	clear(s.viewCache)
 	s.pviews.reset()
@@ -186,6 +199,8 @@ func (s *Scratch) analyzerReset() {
 }
 
 // taskReset recycles the per-task region at the top of buildCtx.
+//
+//schedlint:hotpath
 func (s *Scratch) taskReset() {
 	s.terms.reset()
 	s.times.reset()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -316,7 +317,19 @@ func Shrink(ts *model.Taskset, pred func(*model.Taskset) bool) *model.Taskset {
 		ss := specs()
 		for ti := range ss {
 			for x := range ss[ti].reqs {
-				for q, n := range ss[ti].reqs[x] {
+				// The shrink trajectory determines the fixture bytes; walk the
+				// requests in sorted resource order so identical failures
+				// always minimize to identical fixtures.
+				qs := make([]rt.ResourceID, 0, len(ss[ti].reqs[x]))
+				for q := range ss[ti].reqs[x] {
+					qs = append(qs, q)
+				}
+				sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+				for _, q := range qs {
+					n, ok := ss[ti].reqs[x][q]
+					if !ok { // dropped by an earlier successful shrink
+						continue
+					}
 					cand := make([]*taskSpec, len(ss))
 					for j := range ss {
 						cand[j] = ss[j].clone()

@@ -4,6 +4,8 @@
 // subset of it. Runs are deterministic: every taskset's seed derives from
 // the scenario name, the utilization point and the sample index, so
 // results are reproducible regardless of worker scheduling.
+//
+//schedlint:deterministic
 package experiments
 
 import (

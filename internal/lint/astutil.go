@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the static callee of a call: a package function,
+// method, or generic instantiation thereof. Calls through function values
+// and interface methods resolve too (to the interface method object);
+// calls of builtins and type conversions return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is a package-level function of the package
+// with the given import path. Methods do not qualify.
+func isPkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// builtinName returns the name of the builtin being called ("make",
+// "append", ...) or "" if the call is not a builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// rootIdent peels selectors, indexing, derefs, and parens off an
+// expression and returns the identifier at its base, or nil (e.g. when the
+// base is a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcDecls visits every function declaration with a body in the package.
+func funcDecls(pkg *Package, visit func(fd *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}
+
+// isMapRange reports whether rs ranges over a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// localObj reports whether id resolves to a variable declared inside the
+// function declaration fd (as opposed to a parameter, receiver, package
+// variable, or free variable of an enclosing scope).
+func localVarWithin(info *types.Info, id *ast.Ident, body *ast.BlockStmt) bool {
+	obj := info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() >= body.Pos() && v.Pos() < body.End()
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces context threading on request paths. In any function
+// that accepts a context.Context parameter:
+//
+//   - a call to context.Background() or context.TODO() is flagged — it
+//     severs the caller's cancellation and deadline chain, so a request
+//     the client abandoned keeps consuming worker slots, store I/O, and
+//     analysis time (deliberate detachment, like the refcounted
+//     singleflight that outlives any one request, must be annotated);
+//   - a call to time.Sleep is flagged — it ignores cancellation entirely;
+//     select on the context's Done channel and a timer instead.
+//
+// The nil-guard idiom `if ctx == nil { ctx = context.Background() }` is
+// exempt: assigning Background to the context parameter itself does not
+// sever a chain — there was none — and every later use still threads the
+// same variable.
+//
+// Functions without a ctx parameter are not checked: the invariant is
+// "thread what you were given", not "take a context everywhere".
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background/TODO and uncancellable waits inside functions that already have a context",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	info := pass.Pkg.Info
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		ctxVar := contextParam(info, fd)
+		if ctxVar == nil {
+			return
+		}
+		ctxName := ctxVar.Name()
+		guarded := nilGuardAssigns(info, fd.Body, ctxVar)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(fn, "context") && (fn.Name() == "Background" || fn.Name() == "TODO"):
+				if guarded[call] {
+					return true // nil-guard fallback onto the parameter itself
+				}
+				pass.Reportf(call.Pos(), "context.%s severs the cancellation chain; thread %s instead", fn.Name(), ctxName)
+			case isPkgFunc(fn, "time") && fn.Name() == "Sleep":
+				pass.Reportf(call.Pos(), "time.Sleep ignores cancellation; select on %s.Done() and a timer instead", ctxName)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// nilGuardAssigns returns the set of call expressions whose result is
+// assigned to the context parameter itself (`ctx = context.Background()`).
+// Such an assignment is the nil-guard fallback idiom, not a severed chain.
+func nilGuardAssigns(info *types.Info, body *ast.BlockStmt, ctxVar *types.Var) map[*ast.CallExpr]bool {
+	guarded := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || info.ObjectOf(id) != ctxVar {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+				guarded[call] = true
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// contextParam returns fd's context.Context parameter, or nil if it has
+// none. An unnamed (_) context does not count: it cannot be threaded, and
+// discarding it is its own, visible decision.
+func contextParam(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				if v, ok := info.ObjectOf(name).(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces byte-determinism of everything the system
+// serializes, hashes, or streams. Two rules:
+//
+//  1. Everywhere: a `range` over a map whose body reaches serialization,
+//     hashing, or output (io/buffer writes, strconv.Append*, canonical
+//     []byte accumulation, JSON encoding, fmt printing) is flagged unless
+//     it is the sorted-keys idiom — a body that only collects keys into
+//     local slices which are subsequently passed to sort.*/slices.Sort*.
+//     Go randomizes map iteration order per run, so such a loop produces
+//     different bytes for identical inputs, which breaks content-addressed
+//     caching (Taskset.Hash), golden files, and any-node-identical
+//     distributed sweeps.
+//
+//  2. In packages declared //schedlint:deterministic: calls to wall clocks
+//     (time.Now/Since/Until) and to the implicitly-seeded global math/rand
+//     RNG are flagged. Analysis results must be pure functions of their
+//     inputs; a clock or ambient RNG read makes the verdict depend on when
+//     and where it ran.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags map-iteration order reaching serialized output, and wall clocks / global RNG in deterministic packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	info := pass.Pkg.Info
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pass.Pkg.Deterministic {
+					checkNondeterministicSource(pass, info, n)
+				}
+			case *ast.RangeStmt:
+				if isMapRange(info, n) && !isSortedKeyCollection(info, fd, n) {
+					if sink := findSerializationSink(pass.Prog, info, n.Body, true); sink != "" {
+						pass.Reportf(n.Pos(), "map iteration order reaches serialized output via %s; collect the keys, sort them, and iterate the sorted slice", sink)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkNondeterministicSource flags wall-clock and global-RNG reads inside
+// a //schedlint:deterministic package.
+func checkNondeterministicSource(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case isPkgFunc(fn, "time"):
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in a deterministic package: results must be pure functions of their inputs", fn.Name())
+		}
+	case isPkgFunc(fn, "math/rand"), isPkgFunc(fn, "math/rand/v2"):
+		// Constructors (rand.New, rand.NewPCG, ...) build explicitly
+		// seeded generators and are the sanctioned replacement; everything
+		// else package-level draws from the ambient, randomly-seeded RNG.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(), "global math/rand RNG (%s.%s) in a deterministic package: use an explicitly seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// isSortedKeyCollection recognizes the sanctioned sorted-keys idiom: every
+// statement of the range body (optionally inside one guarding if, as in
+// dropping zero counts) appends range-derived values to local slices, and
+// every such slice is later passed to a sort function in the same
+// function, after the loop.
+func isSortedKeyCollection(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	targets := collectAppendTargets(info, rs.Body)
+	if len(targets) == 0 {
+		return false
+	}
+	// Every collected slice must be sorted after the loop.
+	for _, target := range targets {
+		if !sortedAfter(info, fd, rs, target) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectAppendTargets returns the local variables appended to if the
+// block consists solely of `x = append(x, ...)` statements, possibly
+// inside a single if statement; it returns nil for any other body shape.
+func collectAppendTargets(info *types.Info, block *ast.BlockStmt) []*types.Var {
+	var targets []*types.Var
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			if s.Else != nil || s.Init != nil {
+				return nil
+			}
+			inner := collectAppendTargets(info, s.Body)
+			if inner == nil {
+				return nil
+			}
+			targets = append(targets, inner...)
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return nil
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || builtinName(info, call) != "append" {
+				return nil
+			}
+			v, ok := info.ObjectOf(id).(*types.Var)
+			if !ok {
+				return nil
+			}
+			targets = append(targets, v)
+		default:
+			return nil
+		}
+	}
+	return targets
+}
+
+// sortedAfter reports whether v is passed to a sort.* or slices.Sort*
+// call after the range statement within fd.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, v *types.Var) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return !sorted
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		if !strings.HasPrefix(fn.Name(), "Sort") && !isSortHelper(pkg, fn.Name()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && info.ObjectOf(id) == v {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func isSortHelper(pkg, name string) bool {
+	if pkg != "sort" {
+		return false
+	}
+	switch name {
+	case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Stable", "Sort":
+		return true
+	}
+	return false
+}
+
+// serialization sinks: method names whose call inside a map-range body
+// means iteration order reached an output stream, hash, or buffer.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true, "Sum": true,
+}
+
+// findSerializationSink scans a map-range body for the first call that
+// emits bytes whose order follows the iteration, returning a description
+// of the sink ("" if none). Module-internal callees are followed one call
+// deep (so a logging/reporting helper that wraps fmt still counts); the
+// search is deliberately not transitive beyond that — deeper flows are the
+// runtime byte-identity tests' job.
+func findSerializationSink(prog *Program, info *types.Info, body *ast.BlockStmt, follow bool) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Canonical-bytes accumulation: append to a []byte.
+		if builtinName(info, call) == "append" && len(call.Args) > 0 {
+			if tv, ok := info.Types[call.Args[0]]; ok && isByteSlice(tv.Type) {
+				sink = "append to a []byte buffer"
+				return false
+			}
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if follow && sink == "" {
+			if fd := prog.FuncDecl(fn.Origin()); fd != nil && fd.Body != nil {
+				if inner := findSerializationSink(prog, prog.declPkg[fn.Origin()].Info, fd.Body, false); inner != "" {
+					sink = fn.Name() + " (which reaches " + inner + ")"
+					return false
+				}
+			}
+		}
+		if fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "strconv":
+				if strings.HasPrefix(fn.Name(), "Append") {
+					sink = "strconv." + fn.Name()
+					return false
+				}
+			case "fmt":
+				if strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Sprint") {
+					sink = "fmt." + fn.Name()
+					return false
+				}
+			case "encoding/json":
+				if fn.Name() == "Marshal" || fn.Name() == "MarshalIndent" {
+					sink = "json." + fn.Name()
+					return false
+				}
+			}
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sinkMethods[fn.Name()] {
+			sink = "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(nil)) + ")." + fn.Name()
+			return false
+		}
+		return true
+	})
+	return sink
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

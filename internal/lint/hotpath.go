@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Hotpath enforces the zero-allocation discipline of the analysis hot
+// path. Functions annotated //schedlint:hotpath seed a transitive closure
+// over the module's static call graph (interface dispatch and function
+// values are not followed — keep hot-path indirections behind word-sized,
+// nil-checked hooks, as StageRecorder does). Inside every function of the
+// closure the analyzer flags constructs that allocate:
+//
+//   - calls into fmt (formatting always allocates),
+//   - non-constant string concatenation,
+//   - make and new (reuse a scratch arena or sync.Pool instead),
+//   - slice and map literals (their backings are heap-allocated) and
+//     &-composite literals that escape (returned, passed as arguments,
+//     stored into fields/elements, or sent on channels),
+//   - boxing non-pointer values into interfaces (arguments, assignments,
+//     returns, and variadic ...any expansion),
+//   - closures that capture variables.
+//
+// Arguments of panic are exempt: a panicking invocation is by definition
+// not the steady-state hot path, so panic(fmt.Sprintf(...)) on an
+// invariant violation needs no annotation.
+//
+// The escape rules are a deliberately structural approximation of the
+// compiler's escape analysis: predictable, annotatable, and strict enough
+// that the TestWCRTsZeroAllocEN/EP runtime gates and this static gate
+// cover the same surface. Cold paths inside hot functions (growth slopes,
+// panics on invariant violations) carry //schedlint:ignore hotpath
+// annotations with the reason they are allowed to allocate.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flags allocation-inducing constructs in functions transitively reachable from //schedlint:hotpath annotations",
+	Run:  runHotpath,
+}
+
+// hotFuncs computes (once per program) the set of functions transitively
+// reachable from //schedlint:hotpath seeds, mapping each to the seed that
+// reaches it for diagnostics.
+func (prog *Program) hotFuncs() map[*types.Func]string {
+	prog.hotOnce.Do(func() {
+		prog.hot = make(map[*types.Func]string)
+		// Deterministic BFS: seeds sorted by position.
+		seeds := make([]*types.Func, 0, len(prog.hotSeeds))
+		for fn := range prog.hotSeeds {
+			seeds = append(seeds, fn)
+		}
+		sort.Slice(seeds, func(i, j int) bool { return seeds[i].Pos() < seeds[j].Pos() })
+		queue := make([]*types.Func, 0, len(seeds))
+		for _, fn := range seeds {
+			prog.hot[fn] = fn.Name()
+			queue = append(queue, fn)
+		}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			fd := prog.funcDecls[fn]
+			if fd == nil || fd.Body == nil {
+				continue
+			}
+			info := prog.declPkg[fn].Info
+			root := prog.hot[fn]
+			var callees []*types.Func
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(info, call)
+				if callee == nil {
+					return true
+				}
+				callee = callee.Origin() // generic instantiations share one decl
+				if _, seen := prog.hot[callee]; !seen && prog.funcDecls[callee] != nil {
+					callees = append(callees, callee)
+				}
+				return true
+			})
+			sort.Slice(callees, func(i, j int) bool { return callees[i].Pos() < callees[j].Pos() })
+			for _, callee := range callees {
+				if _, seen := prog.hot[callee]; !seen {
+					prog.hot[callee] = root
+					queue = append(queue, callee)
+				}
+			}
+		}
+	})
+	return prog.hot
+}
+
+func runHotpath(pass *Pass) error {
+	hot := pass.Prog.hotFuncs()
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		if root, isHot := hot[fn]; isHot {
+			checkHotFunc(pass, fd, root)
+		}
+	})
+	return nil
+}
+
+// hotReporter dedupes per (line, kind) so a chain like a+b+c or a
+// multi-argument boxing call yields one finding per line, matching how
+// //schedlint:ignore suppression is scoped.
+type hotReporter struct {
+	pass *Pass
+	root string
+	seen map[lineKind]bool
+}
+
+type lineKind struct {
+	line int
+	kind string
+}
+
+func (r *hotReporter) reportf(pos token.Pos, kind, format string, args ...any) {
+	key := lineKind{r.pass.Prog.Fset.Position(pos).Line, kind}
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	args = append(args, r.root)
+	r.pass.Reportf(pos, format+" in the zero-alloc hot path (reachable from %s)", args...)
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string) {
+	info := pass.Pkg.Info
+	r := &hotReporter{pass: pass, root: root, seen: make(map[lineKind]bool)}
+	parent := parentMap(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if builtinName(info, n) == "panic" {
+				return false // a panicking path is not the hot path
+			}
+			checkHotCall(r, info, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n) && !isConstant(info, n) {
+				r.reportf(n.Pos(), "concat", "string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			checkCompositeLit(r, info, parent, n)
+		case *ast.FuncLit:
+			if capt := capturedVar(info, fd, n); capt != "" {
+				r.reportf(n.Pos(), "closure", "closure captures %q and allocates", capt)
+			}
+		case *ast.AssignStmt:
+			checkBoxingAssign(r, info, n)
+		case *ast.ValueSpec:
+			checkBoxingValueSpec(r, info, n)
+		case *ast.ReturnStmt:
+			checkBoxingReturn(r, info, fd, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(r *hotReporter, info *types.Info, call *ast.CallExpr) {
+	switch builtinName(info, call) {
+	case "make":
+		r.reportf(call.Pos(), "make", "make allocates; reuse a scratch arena, pooled buffer, or preallocated slice")
+		return
+	case "new":
+		r.reportf(call.Pos(), "new", "new allocates; reuse scratch-owned memory")
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		r.reportf(call.Pos(), "fmt", "fmt.%s allocates (formatting boxes its operands)", fn.Name())
+		return
+	}
+	// Boxing of arguments into interface parameters, including variadic
+	// ...any expansion.
+	sig := callSignature(info, call)
+	if sig == nil || call.Ellipsis != token.NoPos {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt != nil && boxes(info, arg, pt) {
+			r.reportf(arg.Pos(), "box", "argument boxes a %s into %s and allocates", info.Types[arg].Type, pt)
+		}
+	}
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversion, not a call
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// boxes reports whether assigning the expression to a target of type dst
+// converts a non-pointer-shaped value to an interface, which allocates.
+// Pointer-shaped values (pointers, channels, maps, funcs, unsafe.Pointer)
+// are stored directly in the interface word; constants are materialized
+// at compile time.
+func boxes(info *types.Info, expr ast.Expr, dst types.Type) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if tv.Type.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+func checkBoxingAssign(r *hotReporter, info *types.Info, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		ltv, ok := info.Types[lhs]
+		if !ok {
+			continue
+		}
+		if boxes(info, as.Rhs[i], ltv.Type) {
+			r.reportf(as.Rhs[i].Pos(), "box", "assignment boxes a %s into %s and allocates", info.Types[as.Rhs[i]].Type, ltv.Type)
+		}
+	}
+}
+
+func checkBoxingValueSpec(r *hotReporter, info *types.Info, vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		obj := info.ObjectOf(name)
+		if obj == nil {
+			continue
+		}
+		if boxes(info, vs.Values[i], obj.Type()) {
+			r.reportf(vs.Values[i].Pos(), "box", "declaration boxes a %s into %s and allocates", info.Types[vs.Values[i]].Type, obj.Type())
+		}
+	}
+}
+
+func checkBoxingReturn(r *hotReporter, info *types.Info, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+	sig, ok := info.Defs[fd.Name].Type().(*types.Signature)
+	if !ok || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		if boxes(info, res, sig.Results().At(i).Type()) {
+			r.reportf(res.Pos(), "box", "return boxes a %s into %s and allocates", info.Types[res].Type, sig.Results().At(i).Type())
+		}
+	}
+}
+
+// checkCompositeLit flags the composite literals that actually allocate:
+// map literals and slice literals allocate their backing uncondition-
+// ally; a struct or array literal is a plain value and only allocates
+// when its address is taken and escapes per the structural heuristic
+// (boxing into interfaces is the boxing check's job).
+func checkCompositeLit(r *hotReporter, info *types.Info, parent map[ast.Node]ast.Node, cl *ast.CompositeLit) {
+	tv, ok := info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		r.reportf(cl.Pos(), "lit", "map literal allocates")
+		return
+	case *types.Slice:
+		if nested(parent, cl) {
+			return // counted once, at the outermost allocating literal
+		}
+		r.reportf(cl.Pos(), "lit", "slice literal allocates its backing array")
+		return
+	}
+	ue, ok := parent[cl].(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return
+	}
+	if where := escapes(info, parent, ue); where != "" {
+		r.reportf(cl.Pos(), "lit", "&-composite literal escapes to the heap (%s)", where)
+	}
+}
+
+// nested reports whether the literal sits inside another composite
+// literal (whose own backing allocation subsumes it).
+func nested(parent map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parent[n]; p != nil; p = parent[p] {
+		if _, ok := p.(*ast.CompositeLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// escapes walks up from a composite literal to decide, structurally,
+// whether its value leaves the frame: returned, passed to a call, stored
+// through a pointer/field/index, sent on a channel, or folded into an
+// enclosing literal that itself escapes. A literal assigned to a fresh
+// local stays, by this approximation, on the stack.
+func escapes(info *types.Info, parent map[ast.Node]ast.Node, n ast.Node) string {
+	for {
+		p := parent[n]
+		switch pp := p.(type) {
+		case *ast.ParenExpr, *ast.KeyValueExpr, *ast.CompositeLit:
+			n = p
+			continue
+		case *ast.UnaryExpr:
+			if pp.Op == token.AND {
+				n = p
+				continue
+			}
+			return ""
+		case *ast.ReturnStmt:
+			return "returned"
+		case *ast.CallExpr:
+			for _, arg := range pp.Args {
+				if arg == n {
+					return "passed as an argument"
+				}
+			}
+			return ""
+		case *ast.SendStmt:
+			if pp.Value == n {
+				return "sent on a channel"
+			}
+			return ""
+		case *ast.AssignStmt:
+			for i, rhs := range pp.Rhs {
+				if rhs != n || i >= len(pp.Lhs) {
+					continue
+				}
+				switch ast.Unparen(pp.Lhs[i]).(type) {
+				case *ast.Ident:
+					return "" // fresh or local rebinding: stack by approximation
+				default:
+					return "stored into a field, element, or dereference"
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// capturedVar returns the name of a variable the function literal captures
+// from its enclosing function, or "" if it captures nothing (a static,
+// allocation-free closure).
+func capturedVar(info *types.Info, fd *ast.FuncDecl, fl *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing declaration (receiver,
+		// parameter, or body) but outside the literal itself.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < fl.Pos() || v.Pos() >= fl.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// parentMap builds a child-to-parent index for one function body.
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,19 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON emits findings in the machine-readable -json format: a JSON
+// array (never null) of {file, line, col, analyzer, message} objects,
+// sorted, one parseable document — so CI logs and future tooling can diff
+// finding counts between runs.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}

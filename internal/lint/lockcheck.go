@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockcheck enforces the repository's shared-state disciplines:
+//
+//  1. Guarded fields. A struct field annotated `// guarded by mu` (any
+//     mutex field name) may only be accessed in functions that acquire
+//     that mutex on the same instance first. The check is an intentional
+//     position-based approximation: an acquire of <base>.<mu>.Lock() or
+//     .RLock() textually preceding the access in the same function counts
+//     as held (release-then-access gaps are not modeled). Functions whose
+//     names end in "Locked" declare the caller-holds convention and are
+//     exempt, as are accesses on instances created inside the function —
+//     an unshared value needs no lock.
+//
+//  2. Atomic consistency. A plain field whose address is passed to
+//     sync/atomic functions anywhere in the module must be accessed
+//     atomically everywhere: one stray non-atomic read or write is a data
+//     race the race detector only catches if a test happens to interleave
+//     it. (Fields of the atomic.Int64-style wrapper types used by the obs
+//     histograms are method-only and safe by construction; this rule
+//     covers the raw atomic.AddInt64(&x)-style pattern.)
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flags guarded-field access without the lock held and mixed atomic/non-atomic field access",
+	Run:  runLockcheck,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedFields maps a struct field object to the name of the mutex field
+// guarding it, per its `// guarded by mu` annotation. Collected
+// program-wide so exported guarded fields are enforced across packages.
+func (prog *Program) guardedFields() map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					mu := guardAnnotation(field)
+					if mu == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							guarded[v] = mu
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return guarded
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// atomicFields collects, program-wide, every struct field whose address
+// is passed to a sync/atomic package function.
+func (prog *Program) atomicFields() map[*types.Var]bool {
+	fields := make(map[*types.Var]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if !isPkgFunc(fn, "sync/atomic") {
+					return true
+				}
+				for _, arg := range call.Args {
+					if v := addressedField(pkg.Info, arg); v != nil {
+						fields[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+// addressedField returns the field object when expr is &x.f for a struct
+// field f, else nil.
+func addressedField(info *types.Info, expr ast.Expr) *types.Var {
+	ue, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func runLockcheck(pass *Pass) error {
+	guarded := pass.Prog.lockState().guarded
+	atomics := pass.Prog.lockState().atomics
+	info := pass.Pkg.Info
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		callerHolds := strings.HasSuffix(fd.Name.Name, "Locked")
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			base := rootIdent(sel.X)
+			if mu, isGuarded := guarded[field]; isGuarded && !callerHolds {
+				if !freshInstance(info, base, fd) && !lockHeldBefore(info, fd, base, mu, sel.Pos()) {
+					pass.Reportf(sel.Pos(), "%s is guarded by %s, which is not held here (no preceding %s.Lock/RLock in this function; suffix the function name with Locked if the caller holds it)", field.Name(), mu, mu)
+				}
+			}
+			if atomics[field] && !atomicUse(info, fd, sel) && !freshInstance(info, base, fd) {
+				pass.Reportf(sel.Pos(), "%s is accessed with sync/atomic elsewhere; this plain access is a data race — use the atomic API here too", field.Name())
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// lockState caches the program-wide guarded/atomic field censuses.
+type lockInfo struct {
+	guarded map[*types.Var]string
+	atomics map[*types.Var]bool
+}
+
+func (prog *Program) lockState() *lockInfo {
+	prog.lockOnce.Do(func() {
+		prog.locks = &lockInfo{guarded: prog.guardedFields(), atomics: prog.atomicFields()}
+	})
+	return prog.locks
+}
+
+// freshInstance reports whether the access base is a variable declared
+// inside this function body: a value that has not escaped to other
+// goroutines yet needs no synchronization. (Aliases of shared state bound
+// to locals defeat this heuristic; the annotation grammar exists for the
+// residue.)
+func freshInstance(info *types.Info, base *ast.Ident, fd *ast.FuncDecl) bool {
+	if base == nil {
+		return false
+	}
+	return localVarWithin(info, base, fd.Body)
+}
+
+// lockHeldBefore reports whether <base>.<mu>.Lock() or .RLock() is called
+// before pos in the function.
+func lockHeldBefore(info *types.Info, fd *ast.FuncDecl, base *ast.Ident, mu string, pos token.Pos) bool {
+	if base == nil {
+		return false
+	}
+	baseObj := info.ObjectOf(base)
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != mu {
+			// Locking the mutex directly (mu is the receiver or a local).
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == mu {
+				held = true
+			}
+			return true
+		}
+		muBase := rootIdent(muSel.X)
+		if muBase != nil && baseObj != nil && info.ObjectOf(muBase) == baseObj {
+			held = true
+		}
+		return true
+	})
+	return held
+}
+
+// atomicUse reports whether this selector occurrence is itself part of a
+// sanctioned atomic access: the &x.f argument of a sync/atomic call.
+func atomicUse(info *types.Info, fd *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	use := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if use {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if !isPkgFunc(fn, "sync/atomic") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok {
+				continue
+			}
+			if inner, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok && inner == sel {
+				use = true
+			}
+		}
+		return true
+	})
+	return use
+}

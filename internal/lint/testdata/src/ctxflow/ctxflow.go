@@ -1,0 +1,49 @@
+// Package ctxflow is the ctxflow analyzer fixture.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func severs(ctx context.Context) error {
+	return work(context.Background()) // want "context.Background severs the cancellation chain; thread ctx instead"
+}
+
+func todo(ctx context.Context) error {
+	return work(context.TODO()) // want "context.TODO severs the cancellation chain; thread ctx instead"
+}
+
+func sleeps(ctx context.Context) {
+	time.Sleep(time.Second) // want "time.Sleep ignores cancellation; select on ctx.Done\\(\\) and a timer instead"
+}
+
+// nilGuard is the sanctioned fallback idiom: assigning Background to the
+// parameter itself severs nothing.
+func nilGuard(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work(ctx)
+}
+
+// noCtx takes no context, so there is no chain to sever.
+func noCtx() error {
+	return work(context.Background())
+}
+
+// discarded explicitly drops its context; that visible decision is not
+// second-guessed.
+func discarded(_ context.Context) error {
+	return work(context.Background())
+}
+
+func ignored(ctx context.Context) error {
+	//schedlint:ignore ctxflow fixture demonstrating suppression
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,128 @@
+// Package determinism is the determinism analyzer fixture: a package
+// declared deterministic, exercising both the map-order-to-sink rule and
+// the clock/RNG rule.
+//
+//schedlint:deterministic
+package determinism
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// -- rule 1: map iteration order reaching serialized output --
+
+func sprintLoop(m map[string]int) string {
+	var out string
+	for k, v := range m { // want "map iteration order reaches serialized output via fmt.Sprintf"
+		out += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return out
+}
+
+func builderLoop(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "map iteration order reaches serialized output"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func appendBytesLoop(m map[int]int) []byte {
+	var buf []byte
+	for k := range m { // want "map iteration order reaches serialized output via append to a \\[\\]byte buffer"
+		buf = append(buf, byte(k))
+	}
+	return buf
+}
+
+func marshalLoop(m map[string]int) [][]byte {
+	var rows [][]byte
+	for _, v := range m { // want "map iteration order reaches serialized output via json.Marshal"
+		row, _ := json.Marshal(v)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// report wraps fmt; the sink search follows module callees one level deep.
+func report(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+func helperLoop(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order reaches serialized output via report \\(which reaches fmt.Sprintf\\)"
+		out = append(out, report("%s", k))
+	}
+	return out
+}
+
+// sortedKeys is the sanctioned idiom: collect, sort, iterate.
+func sortedKeys(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// guardedCollect keeps the idiom valid under a single guarding if.
+func guardedCollect(m map[int]int) []int {
+	var keys []int
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// commutative folds are order-independent: no sink, no finding.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func ignored(m map[string]int) string {
+	var out string
+	//schedlint:ignore determinism fixture demonstrating suppression
+	for k := range m {
+		out += fmt.Sprint(k)
+	}
+	return out
+}
+
+// -- rule 2: clocks and the ambient RNG --
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in a deterministic package"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in a deterministic package"
+}
+
+func draw() int {
+	return rand.Intn(10) // want "global math/rand RNG \\(rand.Intn\\) in a deterministic package"
+}
+
+// seeded generators are the sanctioned replacement: constructors and
+// method calls on an explicit *rand.Rand are allowed.
+func drawSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

@@ -1,0 +1,21 @@
+// Package detplain has no //schedlint:deterministic directive: the
+// clock/RNG rule is off, but the map-order rule applies everywhere.
+package detplain
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func clocksAllowed() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}
+
+func mapOrderStillChecked(m map[string]int) string {
+	var out string
+	for k := range m { // want "map iteration order reaches serialized output via fmt.Sprint"
+		out += fmt.Sprint(k)
+	}
+	return out
+}

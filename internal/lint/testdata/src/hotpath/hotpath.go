@@ -1,0 +1,69 @@
+// Package hotpath is the hotpath analyzer fixture: one annotated seed,
+// one transitively-reached helper, and one cold function that shows the
+// closure is seeded, not package-wide.
+package hotpath
+
+import "fmt"
+
+type point struct{ x, y int }
+
+var holder struct{ p *point }
+
+// hot is the seed; everything statically reachable from it is checked.
+//
+//schedlint:hotpath
+func hot(n int, a, b string) {
+	_ = fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+	_ = a + b                // want "string concatenation allocates"
+	_ = make([]int, n)       // want "make allocates"
+	_ = new(point)           // want "new allocates"
+	_ = map[int]int{1: 2}    // want "map literal allocates"
+	_ = []int{1, 2, 3}       // want "slice literal allocates its backing array"
+
+	holder.p = &point{x: n} // want "&-composite literal escapes to the heap \\(stored into a field, element, or dereference\\)"
+
+	var sink any
+	sink = n // want "assignment boxes a int into"
+	_ = sink
+
+	k := n
+	f := func() int { return k } // want "closure captures \"k\" and allocates"
+	_ = f()
+
+	helper(n)
+	//schedlint:ignore hotpath fixture demonstrating suppression
+	_ = make([]byte, n)
+
+	// Negatives: value literals, non-escaping address, static closures,
+	// constant folding, and panic arguments are all allocation-free or cold.
+	p := point{x: n, y: n} // a plain value copy
+	q := &point{}          // stays local by the structural approximation
+	q.x = p.x
+	_ = "a" + "b" // constant concatenation
+	g := func() int { return 0 }
+	_ = g()
+	if n < 0 {
+		panic(fmt.Sprintf("negative n %d", n))
+	}
+}
+
+// helper is not annotated, but hot calls it: the closure propagates one
+// call edge and attributes findings to the seed.
+func helper(n int) []int {
+	return make([]int, n) // want "make allocates; reuse a scratch arena, pooled buffer, or preallocated slice in the zero-alloc hot path \\(reachable from hot\\)"
+}
+
+// cold is unreachable from any seed: identical constructs, no findings.
+func cold(n int) []int {
+	_ = fmt.Sprintf("%d", n)
+	return make([]int, n)
+}
+
+func escapesByReturn(n int) *point {
+	return &point{x: n} // want "&-composite literal escapes to the heap \\(returned\\)"
+}
+
+//schedlint:hotpath
+func seedReturn(n int) *point {
+	return escapesByReturn(n)
+}

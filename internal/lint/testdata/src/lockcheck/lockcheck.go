@@ -1,0 +1,66 @@
+// Package lockcheck is the lockcheck analyzer fixture.
+package lockcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bad() int {
+	return c.n // want "n is guarded by mu, which is not held here"
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// nLocked declares the caller-holds convention with its name suffix.
+func (c *counter) nLocked() int {
+	return c.n
+}
+
+// fresh values have not escaped to other goroutines; no lock needed.
+func fresh() int {
+	c := &counter{}
+	c.n = 7
+	return c.n
+}
+
+func external(c *counter) int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func externalBad(c *counter) int {
+	return c.n // want "n is guarded by mu, which is not held here"
+}
+
+func ignoredAccess(c *counter) int {
+	//schedlint:ignore lockcheck fixture demonstrating suppression
+	return c.n
+}
+
+type stats struct {
+	hits int64
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) loadAtomic() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) loadPlain() int64 {
+	return s.hits // want "hits is accessed with sync/atomic elsewhere; this plain access is a data race"
+}

@@ -8,6 +8,8 @@
 // per-task request counts, and topological order. A Taskset is sealed with
 // its own Finalize, which classifies resources as local or global and
 // assigns rate-monotonic priorities unless priorities were set explicitly.
+//
+//schedlint:deterministic
 package model
 
 import (

@@ -33,6 +33,7 @@ func (p *Path) Requests(q rt.ResourceID) int64 {
 // topological order.
 func (t *Task) CountPaths() int64 {
 	t.mustFinal()
+	//schedlint:ignore hotpath cap pre-check runs once per task; the analyzer caches the resulting views
 	count := make([]int64, len(t.Vertices))
 	total := int64(0)
 	// Iterate in reverse topological order: count[x] = paths from x to a tail.
@@ -153,14 +154,18 @@ func (t *Task) ComputePathBounds() *PathBounds {
 	nr := len(t.nReq)
 	b := &PathBounds{
 		MaxLength: t.longestPath,
-		MinReq:    make([]int64, nr),
-		MaxReq:    make([]int64, nr),
+		//schedlint:ignore hotpath path bounds are computed once per task and cached by every caller
+		MinReq: make([]int64, nr),
+		//schedlint:ignore hotpath path bounds are computed once per task and cached by every caller
+		MaxReq: make([]int64, nr),
 	}
 
 	// Min non-critical length and min total length over complete paths.
+	//schedlint:ignore hotpath path bounds are computed once per task and cached by every caller
 	b.MinNonCrit = t.minOverPaths(func(x rt.VertexID) int64 {
 		return t.VertexNonCrit(x)
 	})
+	//schedlint:ignore hotpath path bounds are computed once per task and cached by every caller
 	b.MinLength = t.minOverPaths(func(x rt.VertexID) int64 {
 		return t.Vertices[x].WCET
 	})
@@ -169,6 +174,7 @@ func (t *Task) ComputePathBounds() *PathBounds {
 		if t.nReq[q] == 0 {
 			continue
 		}
+		//schedlint:ignore hotpath path bounds are computed once per task and cached by every caller
 		weight := func(x rt.VertexID) int64 {
 			return int64(t.Vertices[x].Requests[rt.ResourceID(q)])
 		}
@@ -190,7 +196,9 @@ func (t *Task) maxOverPaths(w func(rt.VertexID) int64) int64 {
 }
 
 func (t *Task) optOverPaths(w func(rt.VertexID) int64, better func(a, b int64) bool) int64 {
+	//schedlint:ignore hotpath path bounds are computed once per task and cached by every caller
 	best := make([]int64, len(t.Vertices))
+	//schedlint:ignore hotpath path bounds are computed once per task and cached by every caller
 	seen := make([]bool, len(t.Vertices))
 	for i := len(t.topo) - 1; i >= 0; i-- {
 		x := t.topo[i]

@@ -77,12 +77,15 @@ type ViewScratch struct {
 // allocSig bump-allocates one zero-length-capped signature of length n from
 // the arena. The full slice expression prevents a later append from
 // clobbering a neighboring chunk.
+//
+//schedlint:hotpath
 func (s *ViewScratch) allocSig(n int) []int64 {
 	if s.sigOff+n > len(s.sigs) {
 		size := 2 * (s.sigOff + n)
 		if size < 64 {
 			size = 64
 		}
+		//schedlint:ignore hotpath amortized signature-arena growth; steady-state calls reuse the existing backing
 		s.sigs = make([]int64, size)
 		s.sigOff = 0
 	}
@@ -95,6 +98,7 @@ func (s *ViewScratch) allocSig(n int) []int64 {
 // large enough. Contents are unspecified; callers fully overwrite.
 func sliceCap[T any](s []T, n int) []T {
 	if cap(s) < n {
+		//schedlint:ignore hotpath grow-only resize; a warmed scratch never re-enters this branch
 		return make([]T, n)
 	}
 	return s[:n]
@@ -124,6 +128,8 @@ func (t *Task) EnumerateViews(cap int) (views []PathView, ok bool) {
 // backing) borrow it and stay valid only until the next call on the same
 // scratch. The fold order, merge order and therefore the returned view
 // order are identical either way.
+//
+//schedlint:hotpath
 func (t *Task) EnumerateViewsScratch(cap int, s *ViewScratch) (views []PathView, ok bool) {
 	t.mustFinal()
 	if cap > 0 && t.CountPaths() > int64(cap) {
@@ -148,6 +154,7 @@ func (t *Task) EnumerateViewsScratch(cap int, s *ViewScratch) (views []PathView,
 	// Per-vertex signature increments and non-critical WCETs.
 	nv := len(t.Vertices)
 	if have := len(s.deltas); have < nv {
+		//schedlint:ignore hotpath grow-only resize; a warmed scratch never re-enters this branch
 		s.deltas = append(s.deltas[:have], make([][]sigDelta, nv-have)...)
 	}
 	s.nonCrit = sliceCap(s.nonCrit, nv)
@@ -171,6 +178,7 @@ func (t *Task) EnumerateViewsScratch(cap int, s *ViewScratch) (views []PathView,
 	// classes of all head-to-x prefixes (x included). The predecessor
 	// signature is never mutated and is shared when x issues no requests.
 	if have := len(s.states); have < nv {
+		//schedlint:ignore hotpath grow-only resize; a warmed scratch never re-enters this branch
 		s.states = append(s.states[:have], make([][]viewState, nv-have)...)
 	}
 	for _, x := range t.topo {
@@ -310,6 +318,7 @@ func (m *sigMerger) reindex() {
 		need *= 2
 	}
 	if len(m.table) < need {
+		//schedlint:ignore hotpath grow-only resize; a warmed merger table never re-enters this branch
 		m.table = make([]int32, need)
 	} else {
 		clear(m.table)

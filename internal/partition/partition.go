@@ -3,6 +3,8 @@
 // augmentation and rollback (Algorithm 1), and worst-fit-decreasing
 // placement of global resources onto processors by utilization slack
 // (Algorithm 2). A first-fit-decreasing variant is provided as an ablation.
+//
+//schedlint:deterministic
 package partition
 
 import (

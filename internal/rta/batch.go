@@ -18,6 +18,8 @@ import "dpcpp/internal/rt"
 // MaxIterations. Callers treat a false return exactly like a single
 // diverged FixPoint: one diverged view makes the task unschedulable, so no
 // per-view results are needed.
+//
+//schedlint:hotpath
 func FixPointBatch(xs []rt.Time, limit rt.Time, done []bool, step func(i int, x rt.Time) rt.Time) bool {
 	done = done[:len(xs)]
 	for i := range done {

@@ -2,6 +2,8 @@
 // response-time analysis in this repository (Lemma 2's request response
 // times and Theorem 1's path response times are both least fixed points of
 // monotone recurrences).
+//
+//schedlint:deterministic
 package rta
 
 import "dpcpp/internal/rt"

@@ -61,6 +61,7 @@ func (g *flightGroup) do(ctx context.Context, key string,
 			c.refs++
 			shared = true
 		} else {
+			//schedlint:ignore ctxflow detached by design: the flight outlives any one caller; the refcounted cancel tears it down when the last waiter leaves
 			fctx, cancel := context.WithCancel(context.Background())
 			c = &flightCall{done: make(chan struct{}), refs: 1, cancel: cancel}
 			g.m[key] = c

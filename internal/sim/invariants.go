@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"dpcpp/internal/rt"
 )
@@ -44,9 +45,16 @@ func (s *Sim) checkMutualExclusion() {
 			}
 		}
 	}
-	for q, n := range execs {
-		if n > 1 {
-			s.violate("mutual exclusion violated on l%d: %d concurrent executors", q, n)
+	// Violations are part of the audit's serialized evidence; iterate in
+	// sorted resource order so identical runs report identical bytes.
+	qs := make([]rt.ResourceID, 0, len(execs))
+	for q := range execs {
+		qs = append(qs, q)
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	for _, q := range qs {
+		if execs[q] > 1 {
+			s.violate("mutual exclusion violated on l%d: %d concurrent executors", q, execs[q])
 		}
 	}
 }
@@ -69,7 +77,14 @@ func (s *Sim) checkCeilingRule() {
 		req := rs.lockedBy.(*request)
 		perProc[rs.proc] = append(perProc[rs.proc], req)
 	}
-	for k, reqs := range perProc {
+	// Sorted processor order keeps the violation log byte-deterministic.
+	procs := make([]rt.ProcID, 0, len(perProc))
+	for k := range perProc {
+		procs = append(procs, k)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, k := range procs {
+		reqs := perProc[k]
 		for _, a := range reqs {
 			for _, b := range reqs {
 				if a == b || a.granted < b.granted {

@@ -3,6 +3,8 @@
 // RandFixedSum algorithm, DAG structures from the Erdős–Rényi method of
 // Cordeiro et al., log-uniform periods, and per-resource request parameters
 // drawn from the paper's ranges.
+//
+//schedlint:deterministic
 package taskgen
 
 import (
