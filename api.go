@@ -105,6 +105,38 @@ func Schedulable(m Method, ts *Taskset, opts Options) bool {
 	return analysis.Schedulable(m, ts, opts)
 }
 
+// Incremental what-if analysis: patches and retained delta state.
+type (
+	// Patch is a canonical edit script against a finalized taskset.
+	Patch = model.Patch
+	// PatchOp is one edit; see the Op* constants in internal/model.
+	PatchOp = model.PatchOp
+	// PatchError reports the first structurally invalid op in a patch.
+	PatchError = model.PatchError
+	// PatchDelta is the precise changed-task set produced by ApplyPatch.
+	PatchDelta = model.PatchDelta
+	// Delta is the retained state of a completed EP/EN analysis; Apply
+	// answers patched what-if queries incrementally. See the package
+	// documentation for ownership and invalidation rules.
+	Delta = analysis.Delta
+	// DeltaStats reports what an incremental run reused.
+	DeltaStats = analysis.DeltaStats
+)
+
+// ApplyPatch applies p to a finalized taskset, returning the patched
+// finalized taskset (the receiver is never mutated). The returned
+// PatchDelta lists precisely which tasks changed and how.
+func ApplyPatch(ts *Taskset, p Patch) (*Taskset, *PatchDelta, error) {
+	return model.ApplyPatch(ts, p)
+}
+
+// NewDelta runs a full analysis and retains its internals for later
+// incremental Apply calls. The state is nil (with a valid Result) for
+// methods without an incremental form and for unschedulable results.
+func NewDelta(sc *Scratch, m Method, ts *Taskset, opts Options) (Result, *Delta) {
+	return analysis.NewDelta(sc, m, ts, opts)
+}
+
 // Taskset synthesis (Sec. VII-A).
 type (
 	// Scenario is one experimental configuration.

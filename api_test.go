@@ -55,6 +55,52 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeDelta exercises the incremental what-if API through the
+// facade: retain a base analysis, patch one WCET, and check the
+// incremental verdict against a full re-analysis of the patched set.
+func TestFacadeDelta(t *testing.T) {
+	scen, err := Fig2Scenario("2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewGenerator(scen).Taskset(rand.New(rand.NewSource(1)), 6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScratch()
+	res, d := NewDelta(sc, DPCPpEP, ts, Options{})
+	if !res.Schedulable || d == nil {
+		t.Fatalf("base must be schedulable with retained state (schedulable=%v, state=%v)",
+			res.Schedulable, d != nil)
+	}
+	p := Patch{Ops: []PatchOp{{
+		Op:     "set_wcet",
+		Task:   ts.Tasks[0].ID,
+		Vertex: 0,
+		Value:  ts.Tasks[0].Vertices[0].WCET + Microsecond,
+	}}}
+	patched, pd, err := ApplyPatch(ts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.ChangedIDs()) != 1 || pd.ChangedIDs()[0] != ts.Tasks[0].ID {
+		t.Fatalf("changed-task set = %v, want exactly task %d", pd.ChangedIDs(), ts.Tasks[0].ID)
+	}
+	_, got, _, _, err := d.Apply(sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TestWith(NewScratch(), DPCPpEP, patched, Options{})
+	if got.Schedulable != want.Schedulable {
+		t.Fatalf("delta verdict %v != full %v", got.Schedulable, want.Schedulable)
+	}
+	for id, w := range want.WCRT {
+		if got.WCRT[id] != w {
+			t.Errorf("task %d: delta bound %d != full %d", id, got.WCRT[id], w)
+		}
+	}
+}
+
 func TestFacadeMethodsAndScenarios(t *testing.T) {
 	if got := len(Methods()); got != 5 {
 		t.Errorf("Methods() = %d entries, want 5", got)

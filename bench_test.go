@@ -16,6 +16,7 @@ import (
 
 	"dpcpp/internal/analysis"
 	"dpcpp/internal/experiments"
+	"dpcpp/internal/model"
 	"dpcpp/internal/obs"
 	"dpcpp/internal/partition"
 	"dpcpp/internal/rt"
@@ -246,6 +247,64 @@ func BenchmarkInstrumentedAnalysis(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDeltaAnalyze measures the incremental what-if path the server's
+// POST /v1/analyze/delta rides: retained delta state answering a one-vertex
+// WCET bump (the canonical admission-control query) via Delta.Apply —
+// patch application, canonical re-hash, and the incremental re-analysis —
+// against the cold full re-analysis of the same patched taskset. Gated by
+// cmd/benchgate: the one-vertex-wcet-bump series is the endpoint's
+// cache-hit-territory latency claim.
+func BenchmarkDeltaAnalyze(b *testing.B) {
+	scen, _ := taskgen.Fig2Scenario("2a")
+	g := taskgen.NewGenerator(scen)
+	ts, err := g.Taskset(rand.New(rand.NewSource(1)), 6.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Bump the lowest-priority task: the common "can this component grow"
+	// query, and the one the delta analyzer reuses the most state for.
+	low := ts.Tasks[0]
+	for _, tk := range ts.Tasks {
+		if low.Priority.Higher(tk.Priority) {
+			low = tk
+		}
+	}
+	bump := func(i int) model.Patch {
+		return model.Patch{Ops: []model.PatchOp{{
+			Op: model.OpSetWCET, Task: low.ID, Vertex: 0,
+			Value: low.Vertices[0].WCET + 1 + rt.Time(i%16)*rt.Microsecond,
+		}}}
+	}
+
+	b.Run("one-vertex-wcet-bump", func(b *testing.B) {
+		sc := analysis.NewScratch()
+		_, d := analysis.NewDelta(sc, analysis.DPCPpEP, ts, analysis.Options{})
+		if d == nil {
+			b.Fatal("base taskset not schedulable; no delta state")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, _, err := d.Apply(sc, bump(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-full-analysis", func(b *testing.B) {
+		sc := analysis.NewScratch()
+		analysis.TestWith(sc, analysis.DPCPpEP, ts, analysis.Options{}) // warm the arenas
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			patched, _, err := model.ApplyPatch(ts, bump(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			analysis.TestWith(sc, analysis.DPCPpEP, patched, analysis.Options{})
+		}
+	})
 }
 
 // BenchmarkSimulator measures discrete-event simulation throughput on the

@@ -37,10 +37,11 @@ func main() {
 
 // defaultBench pins the CI benchmark subset: the analysis hot path (the
 // zero-allocation trajectory this gate exists for), the view enumeration
-// engine under it, and the instrumented variant that pins the per-stage
-// observability overhead at zero extra allocations. Fixed -benchtime
-// iteration counts keep allocs/op deterministic.
-const defaultBench = "BenchmarkAnalysisMethods|BenchmarkPathEnumeration|BenchmarkInstrumentedAnalysis"
+// engine under it, the instrumented variant that pins the per-stage
+// observability overhead at zero extra allocations, and the incremental
+// delta path whose cache-hit-territory latency POST /v1/analyze/delta
+// claims. Fixed -benchtime iteration counts keep allocs/op deterministic.
+const defaultBench = "BenchmarkAnalysisMethods|BenchmarkPathEnumeration|BenchmarkInstrumentedAnalysis|BenchmarkDeltaAnalyze"
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {

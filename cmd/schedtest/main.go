@@ -164,7 +164,8 @@ func runAudit(cfg audit.Config, reportPath string, stdout, stderr io.Writer) int
 		rep.Generated, rep.GenFailures, rep.Skipped, time.Since(start).Seconds())
 	fmt.Fprintf(stdout, "shapes: %v\n", rep.ByShape)
 	fmt.Fprintf(stdout, "certified verdicts: %d (%v)\n", certs, rep.Schedulable)
-	fmt.Fprintf(stdout, "simulator runs: %d, cross-checked tasksets: %d\n", rep.SimRuns, rep.CrossChecks)
+	fmt.Fprintf(stdout, "simulator runs: %d, cross-checked tasksets: %d, delta patch chains: %d\n",
+		rep.SimRuns, rep.CrossChecks, rep.DeltaChecks)
 	if rep.TimedOut {
 		fmt.Fprintln(stdout, "time budget exhausted before all tasksets ran")
 	}

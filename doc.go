@@ -105,6 +105,46 @@
 // through experiments.SampleSeed, so a streamed acceptance curve is
 // bit-identical to `schedtest -fig` with the same seed.
 //
+// # Incremental delta analysis
+//
+// POST /v1/analyze/delta serves what-if queries — one patched task per
+// request — without re-deriving the unchanged remainder of the taskset.
+// model.ApplyPatch turns (base, Patch) into a finalized taskset plus a
+// precise changed-task set, and analysis.Delta retains a completed EP/EN
+// run's internals: per-task path views (or their collapse plans), Lemma 2
+// epsilon-memo rows keyed by (processor, recurrence base), final fixed-point
+// iterates, and a dependency map recording which tasks' interference terms
+// read which placement rows. An incremental run replays partitioning; for
+// every round whose assignment matches the retained final partition it
+// re-derives only tasks the dependency map marks as affected, warm-starts
+// rta.FixPointBatch from retained iterates for the rest, and replays
+// retained WCRTs for tasks with no changed inputs. Verdicts and WCRTs are
+// bit-identical to a full re-analysis — enforced by a differential suite
+// and the audit's randomized patch-chain leg.
+//
+// Ownership and invalidation rules:
+//
+//   - A *analysis.Delta is owned by the server's bounded LRU of retained
+//     states, keyed by (base hash, method, options) — the same canonical
+//     key space as the result cache. It is immutable after construction:
+//     Apply/ApplyTo never mutate the receiver, they return a fresh state
+//     for the patched taskset, which the server retains under the patched
+//     hash so edit chains stay incremental.
+//   - Invalidation is structural, not temporal. Any partitioning round
+//     whose assignment diverges from the retained final partition — a task
+//     or resource lands elsewhere, typically after add/remove-task or a
+//     large timing edit — invalidates the retained rows for that round and
+//     the run falls back to full analysis for it (DeltaStats reports
+//     MatchedRounds < Rounds). Request-count increases invalidate the
+//     warm-start for the affected task (its bound need not be monotone in
+//     that edit), and an unschedulable result retains no state at all:
+//     there is no final partition to key the dependency map on.
+//   - LRU eviction degrades performance, never correctness: a query whose
+//     base state was evicted is answered by re-establishing the base with
+//     a full analysis (counted in delta_fallbacks) when the request
+//     carries base_taskset, or rejected with a structured 400 telling the
+//     client to re-send it when it carries only the hash.
+//
 // # Sweep jobs and the persistent store
 //
 // The paper's headline artifact is whole acceptance-ratio campaigns, so

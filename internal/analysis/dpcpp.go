@@ -36,6 +36,20 @@ type DPCPp struct {
 	// per-task view construction, including cache hits, mirroring the
 	// pre-cache behavior.
 	Fallbacks int
+
+	// Delta-analysis hooks (see delta.go); all nil outside incremental
+	// runs, costing the production path a nil check each.
+	//
+	// cap, when set, snapshots each converged task's per-view fixed points
+	// and epsilon memo rows; it is reset at the start of every WCRTs pass
+	// so it always holds the latest round. warmFix seeds the next
+	// taskWCRT's fixed-point iterates (element-wise max with the cold
+	// start); epsSeed preloads epsilon memo rows after taskReset. Both are
+	// per-task: the delta analyzer sets them immediately before a taskWCRT
+	// call and clears them after.
+	cap     *deltaCapture
+	warmFix []rt.Time
+	epsSeed []epsRow
 }
 
 type cachedViews struct {
@@ -64,6 +78,9 @@ func newDPCPp(sc *Scratch, ts *model.Taskset, pathCap int, en bool) *DPCPp {
 // out.
 func (a *DPCPp) WCRTs(p *partition.Partition) map[rt.TaskID]rt.Time {
 	round := a.sc.stageStart()
+	if a.cap != nil {
+		a.cap.reset()
+	}
 	wcrts := a.sc.wcrts
 	clear(wcrts)
 	for _, t := range a.byPrio {
@@ -101,7 +118,21 @@ func (a *DPCPp) buildViews(t *model.Task) cachedViews {
 	nr := a.ts.NumResources
 	s := a.sc
 	if !a.en {
-		if pvs, ok := t.EnumerateViewsScratch(a.pathCap, &s.vs); ok {
+		var pvs []model.PathView
+		var ok bool
+		if a.cap != nil {
+			// Delta runs compile the collapse structure alongside the
+			// enumeration so later WCET-only patches can replay it instead
+			// of re-enumerating (see model.ViewPlan).
+			var plan *model.ViewPlan
+			pvs, plan, ok = t.EnumerateViewsPlan(a.pathCap, &s.vs)
+			if ok {
+				a.cap.plans[t.ID] = plan
+			}
+		} else {
+			pvs, ok = t.EnumerateViewsScratch(a.pathCap, &s.vs)
+		}
+		if ok {
 			// The enumerated views borrow s.vs until its next call; convert
 			// them immediately into analyzer-lifetime arena storage (the
 			// view cache spans partition rounds). One flat backing array
@@ -325,6 +356,13 @@ func (a *DPCPp) buildCtx(p *partition.Partition, t *model.Task,
 		ctx.hpShared = hpShared
 	}
 
+	// Delta runs preload still-valid epsilon rows from the retained state
+	// (taskReset just cleared the memo). The seed slice is sorted by
+	// (proc, base); re-seeding reproduces exactly the entries the
+	// from-scratch fixed points would compute (see Delta.ApplyTo).
+	for _, row := range a.epsSeed {
+		s.epsMemo[row.key] = row.val
+	}
 	ctx.epsMemo = s.epsMemo
 	ctx.epsScratch = s.times.alloc(len(ctx.procs))
 
@@ -399,6 +437,17 @@ func (a *DPCPp) taskWCRT(p *partition.Partition, t *model.Task,
 		bs[vi], iIntras[vi], iaStatics[vi] = b, iIntra, iaStatic
 		xs[vi] = rt.SatAdd(v.length, rt.SatAdd(b, rt.CeilDiv(iIntra, ctx.mi)))
 	}
+	if a.warmFix != nil && len(a.warmFix) == nv {
+		// Warm start from retained per-view fixed points (delta runs only):
+		// the caller guarantees each seed lies between the cold start and
+		// the new least fixed point, so the iteration converges to exactly
+		// the fixed point a cold start would reach (see rta.FixPointBatch).
+		for vi := range xs {
+			if w := a.warmFix[vi]; w > xs[vi] {
+				xs[vi] = w
+			}
+		}
+	}
 	// Lemma 3 epsilon terms (constant in r; computed via Lemma 2's W).
 	for pi := range ctx.procs {
 		pc := &ctx.procs[pi]
@@ -437,6 +486,10 @@ func (a *DPCPp) taskWCRT(p *partition.Partition, t *model.Task,
 		// irrelevant past this point, exactly like the early exit of the
 		// sequential loop.
 		return rt.Infinity
+	}
+	if a.cap != nil {
+		//schedlint:ignore hotpath delta-state capture copies per-view results only under the delta analyzer; cap is nil on the zero-alloc production path
+		a.cap.record(t.ID, xs, ctx.epsMemo)
 	}
 	var worst rt.Time
 	for _, r := range xs {

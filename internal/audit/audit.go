@@ -21,6 +21,10 @@
 //   - Monotonicity: inflating every vertex WCET (holding structure,
 //     periods, priorities and requests fixed) never shrinks any per-task
 //     bound on an identical partition, for every analysis.
+//   - Delta: for each certified DPCP-p verdict, a deterministic random
+//     patch chain driven through the incremental analyzer
+//     (analysis.Delta) must produce verdicts bit-identical to a full
+//     re-analysis of every patched taskset.
 //
 // Any violating taskset is shrunk to a minimal reproduction (drop tasks,
 // then vertices, then halve WCETs and request counts) and serialized via
@@ -110,7 +114,8 @@ type Violation struct {
 	// Method is the analysis involved ("" for cross-method checks).
 	Method string `json:"method,omitempty"`
 	// Kind classifies the breach: deadline-miss, bound-exceeded,
-	// sim-invariant, sim-error, lemma1, ep-exceeds-en, non-monotone.
+	// sim-invariant, sim-error, lemma1, ep-exceeds-en, non-monotone,
+	// delta-mismatch.
 	Kind   string `json:"kind"`
 	Detail string `json:"detail"`
 	// Fixture is the path of the shrunken reproduction, when written.
@@ -132,6 +137,7 @@ type Report struct {
 	Schedulable map[string]int `json:"schedulable"` // certified verdicts per method
 	SimRuns     int64          `json:"sim_runs"`
 	CrossChecks int            `json:"cross_checks"` // tasksets with EP/EN + monotonicity checks
+	DeltaChecks int            `json:"delta_checks"` // patch chains driven through the delta leg
 	Violations  []Violation    `json:"violations"`
 	ElapsedSec  float64        `json:"elapsed_seconds"`
 	TimedOut    bool           `json:"timed_out"`
@@ -204,11 +210,15 @@ func Run(cfg Config) (*Report, error) {
 		// Last method job of taskset i: cross-method checks + fold.
 		var vs []Violation
 		crossed := false
+		chains := 0
 		if c.set != nil && c.set.err == nil && allRan(c.ran) {
 			for _, r := range c.results {
 				vs = append(vs, r.violations...)
 			}
 			vs = append(vs, crossChecks(cfg, c.set, c.results)...)
+			var dvs []Violation
+			dvs, chains = deltaChecks(cfg, c.set, c.results)
+			vs = append(vs, dvs...)
 			crossed = true
 		}
 		if len(vs) > 0 {
@@ -232,6 +242,7 @@ func Run(cfg Config) (*Report, error) {
 			if crossed {
 				rep.CrossChecks++
 			}
+			rep.DeltaChecks += chains
 			rep.Violations = append(rep.Violations, vs...)
 		}
 	})

@@ -43,11 +43,14 @@ func TestAuditSmoke(t *testing.T) {
 	if len(rep.ByShape) < 3 {
 		t.Errorf("only %d shapes exercised: %v", len(rep.ByShape), rep.ByShape)
 	}
+	if rep.DeltaChecks == 0 {
+		t.Error("delta leg drove no patch chains; incremental analysis unchecked")
+	}
 	for _, v := range rep.Violations {
 		t.Errorf("violation: %s (fixture: %s)", v, v.Fixture)
 	}
-	t.Logf("audit: %d generated (%d gen failures), %d certified verdicts, %d sim runs, %d cross-checked, shapes %v",
-		rep.Generated, rep.GenFailures, certs, rep.SimRuns, rep.CrossChecks, rep.ByShape)
+	t.Logf("audit: %d generated (%d gen failures), %d certified verdicts, %d sim runs, %d cross-checked, %d delta chains, shapes %v",
+		rep.Generated, rep.GenFailures, certs, rep.SimRuns, rep.CrossChecks, rep.DeltaChecks, rep.ByShape)
 }
 
 // TestAuditDeterministic: identical configs yield identical reports.

@@ -3,6 +3,7 @@ package audit
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
 	"dpcpp/internal/analysis"
@@ -228,4 +229,143 @@ func inflateWCET(ts *model.Taskset) (*model.Taskset, error) {
 	return rebuild(ts, func(t *model.Task, v *model.Vertex) (rt.Time, bool) {
 		return v.WCET + (v.WCET+3)/4, true
 	})
+}
+
+// deltaChainSteps is the length of each random patch chain the delta leg
+// drives per certified DPCP-p verdict.
+const deltaChainSteps = 3
+
+// deltaChecks is the incremental-analysis leg: starting from each certified
+// DPCP-p verdict, it retains delta state (analysis.NewDelta), drives a
+// short deterministic random patch chain through Delta.ApplyTo, and
+// requires every step's verdict to be bit-identical to a full re-analysis
+// of the patched taskset. A divergence is a "delta-mismatch" violation;
+// because CheckTaskset runs this leg too, shrinking minimizes such
+// tasksets into fixtures exactly like soundness breaches. Returns the
+// violations plus the number of chains driven.
+func deltaChecks(cfg Config, g *genTaskset, results []methodVerdict) ([]Violation, int) {
+	var out []Violation
+	chains := 0
+	opts := analysis.Options{PathCap: cfg.PathCap}
+	for mi, m := range cfg.Methods {
+		if (m != analysis.DPCPpEP && m != analysis.DPCPpEN) || !results[mi].res.Schedulable {
+			continue
+		}
+		report := func(kind, detail string) {
+			out = append(out, Violation{
+				Index: g.index, Seed: g.seed, Shape: g.label,
+				Method: string(m), Kind: kind, Detail: detail,
+			})
+		}
+		sc, fullSc := analysis.NewScratch(), analysis.NewScratch()
+		_, d := analysis.NewDelta(sc, m, g.ts, opts)
+		if d == nil {
+			report("delta-mismatch", "no delta state retained for a certified taskset")
+			continue
+		}
+		chains++
+		rng := rand.New(rand.NewSource(seedFor(g.seed, 0, "delta|"+string(m))))
+		for step := 0; step < deltaChainSteps; step++ {
+			p, ok := deltaPatch(rng, d.Base())
+			if !ok {
+				break
+			}
+			patched, pd, err := model.ApplyPatch(d.Base(), p)
+			if err != nil {
+				report("delta-mismatch", fmt.Sprintf("step %d: valid generated patch rejected: %v", step, err))
+				break
+			}
+			res, _, next := d.ApplyTo(sc, patched, pd)
+			full := analysis.TestWith(fullSc, m, patched, opts)
+			if detail := diffResults(res, full); detail != "" {
+				report("delta-mismatch", fmt.Sprintf("step %d: delta vs full re-analysis: %s", step, detail))
+				break
+			}
+			if next != nil {
+				// Chain onward from the patched state; an unschedulable step
+				// re-anchors the next patch on the previous base.
+				d = next
+			}
+		}
+	}
+	return out, chains
+}
+
+// diffResults compares a delta verdict against a full re-analysis; "" means
+// bit-identical (the delta contract), anything else describes the first
+// divergence.
+func diffResults(got, want partition.Result) string {
+	if got.Schedulable != want.Schedulable {
+		return fmt.Sprintf("schedulable %v != %v", got.Schedulable, want.Schedulable)
+	}
+	if len(got.WCRT) != len(want.WCRT) {
+		return fmt.Sprintf("%d WCRT bounds != %d", len(got.WCRT), len(want.WCRT))
+	}
+	ids := make([]rt.TaskID, 0, len(want.WCRT))
+	for id := range want.WCRT {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		if got.WCRT[id] != want.WCRT[id] {
+			return fmt.Sprintf("task %d bound %s != %s", id,
+				rt.FormatTime(got.WCRT[id]), rt.FormatTime(want.WCRT[id]))
+		}
+	}
+	return ""
+}
+
+// deltaPatch draws one structurally valid random patch for ts, mixing
+// nondecreasing edits (WCET/request growth — the warm-start path) with
+// shrinks and timing edits (the recompute and fallback paths). ok=false
+// when no valid op was found within the try budget.
+func deltaPatch(r *rand.Rand, ts *model.Taskset) (model.Patch, bool) {
+	one := func(op model.PatchOp) (model.Patch, bool) {
+		return model.Patch{Ops: []model.PatchOp{op}}, true
+	}
+	for tries := 0; tries < 32; tries++ {
+		t := ts.Tasks[r.Intn(len(ts.Tasks))]
+		x := rt.VertexID(r.Intn(len(t.Vertices)))
+		v := t.Vertices[x]
+		var csNeed rt.Time
+		for q, n := range v.Requests {
+			csNeed += rt.SatMul(int64(n), t.CS(q))
+		}
+		switch r.Intn(6) {
+		case 0, 1: // WCET bump up: always valid.
+			return one(model.PatchOp{Op: model.OpSetWCET, Task: t.ID, Vertex: x,
+				Value: v.WCET + 1 + rt.Time(r.Int63n(int64(rt.Microsecond)))})
+		case 2: // WCET shrink toward the critical-section floor.
+			floor := csNeed
+			if floor == 0 {
+				floor = 1
+			}
+			if v.WCET <= floor {
+				continue
+			}
+			return one(model.PatchOp{Op: model.OpSetWCET, Task: t.ID, Vertex: x,
+				Value: floor + rt.Time(r.Int63n(int64(v.WCET-floor)))})
+		case 3: // Request count up when the vertex has WCET slack for it.
+			if ts.NumResources == 0 {
+				continue
+			}
+			q := rt.ResourceID(r.Intn(ts.NumResources))
+			if t.CS(q) == 0 || v.WCET-csNeed < t.CS(q) {
+				continue
+			}
+			return one(model.PatchOp{Op: model.OpSetRequest, Task: t.ID, Vertex: x,
+				Resource: q, Count: v.Requests[q] + 1})
+		case 4: // Request count down (possibly a sharer flip to zero).
+			for _, q := range t.Resources() {
+				if n := v.Requests[q]; n > 0 {
+					return one(model.PatchOp{Op: model.OpSetRequest, Task: t.ID,
+						Vertex: x, Resource: q, Count: n - 1})
+				}
+			}
+		case 5: // Period growth (deadline <= period stays satisfied).
+			return one(model.PatchOp{Op: model.OpSetPeriod, Task: t.ID,
+				Value: t.Period + 1 + rt.Time(r.Int63n(int64(t.Period)))})
+		}
+	}
+	return model.Patch{}, false
 }

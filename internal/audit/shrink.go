@@ -176,7 +176,9 @@ func CheckTaskset(cfg Config, ts *model.Taskset, label string, index int, seed i
 		results[mi] = checkMethod(cfg, g, mi, &simRuns)
 		out = append(out, results[mi].violations...)
 	}
-	return append(out, crossChecks(cfg, g, results)...)
+	out = append(out, crossChecks(cfg, g, results)...)
+	dvs, _ := deltaChecks(cfg, g, results)
+	return append(out, dvs...)
 }
 
 // shrinkAndFix shrinks the violating taskset to a minimal reproduction and

@@ -2,6 +2,8 @@ package model
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"testing"
 
 	"dpcpp/internal/rt"
@@ -65,6 +67,75 @@ func FuzzTasksetJSON(f *testing.F) {
 				if a.NumRequests(rid) != b.NumRequests(rid) || a.CS(rid) != b.CS(rid) {
 					t.Fatalf("task %d resource %d: request profile diverged", i, q)
 				}
+			}
+		}
+	})
+}
+
+// FuzzTasksetPatch fuzzes the patch surface (POST /v1/analyze/delta): for
+// any base taskset and any patch document, ApplyPatch must either reject
+// with a structured *PatchError — never a panic — or produce a finalized
+// taskset whose content address is reproducible: applying the same patch
+// twice yields identical hashes, a JSON round trip of the result is
+// hash-stable (the patched set is a fully valid document even though it
+// shares untouched Task pointers with the base), and the base itself stays
+// bit-identical.
+//
+// Run `go test -fuzz FuzzTasksetPatch ./internal/model` to hunt.
+func FuzzTasksetPatch(f *testing.F) {
+	base := `{"tasks":[{"id":0,"period":1000,"deadline":1000,"priority":2,"vertices":[{"id":0,"wcet":100},{"id":1,"wcet":50,"requests":{"0":1}}],"edges":[{"from":0,"to":1}],"cslen":[5,0]},{"id":1,"period":2000,"deadline":2000,"priority":1,"vertices":[{"id":0,"wcet":200}]}],"num_resources":2,"num_procs":4}`
+	f.Add([]byte(base), []byte(`{"ops":[{"op":"set_wcet","task":0,"vertex":1,"value":80}]}`))
+	f.Add([]byte(base), []byte(`{"ops":[{"op":"set_request","task":1,"vertex":0,"resource":1,"count":2},{"op":"set_cslen","task":1,"resource":1,"value":7}]}`))
+	f.Add([]byte(base), []byte(`{"ops":[{"op":"remove_task","task":0},{"op":"add_task","new_task":{"id":5,"period":500,"deadline":500,"priority":9,"vertices":[{"id":0,"wcet":10}]}}]}`))
+	f.Add([]byte(base), []byte(`{"ops":[{"op":"set_wcet","task":0,"vertex":1,"value":-3}]}`))
+	f.Add([]byte(base), []byte(`{"ops":[{"op":"add_edge","task":0,"from":1,"to":0}]}`))
+
+	f.Fuzz(func(t *testing.T, tsData, patchData []byte) {
+		ts, err := DecodeTaskset(bytes.NewReader(tsData))
+		if err != nil {
+			return
+		}
+		var p Patch
+		if err := json.Unmarshal(patchData, &p); err != nil {
+			return
+		}
+		baseHash := ts.Hash()
+		out, pd, err := ApplyPatch(ts, p)
+		if ts.Hash() != baseHash {
+			t.Fatal("ApplyPatch mutated the base taskset")
+		}
+		if err != nil {
+			var perr *PatchError
+			if !errors.As(err, &perr) {
+				t.Fatalf("rejection is not a *PatchError: %T %v", err, err)
+			}
+			if out != nil || pd != nil {
+				t.Fatal("partial result alongside an error")
+			}
+			return
+		}
+		again, _, err := ApplyPatch(ts, p)
+		if err != nil {
+			t.Fatalf("second application rejected: %v", err)
+		}
+		if out.Hash() != again.Hash() {
+			t.Fatalf("patching is not deterministic: %s vs %s", out.Hash(), again.Hash())
+		}
+		var buf bytes.Buffer
+		if err := EncodeTaskset(&buf, out); err != nil {
+			t.Fatalf("encoding patched taskset: %v", err)
+		}
+		rt2, err := DecodeTaskset(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding patched taskset: %v\n%s", err, buf.String())
+		}
+		if rt2.Hash() != out.Hash() {
+			t.Fatalf("patched hash unstable across JSON round trip: %s vs %s", out.Hash(), rt2.Hash())
+		}
+		// Untouched tasks must be absent from the delta; touched ones present.
+		for id, c := range pd.Changed {
+			if c == 0 {
+				t.Fatalf("task %d marked changed with zero bits", id)
 			}
 		}
 	})

@@ -73,7 +73,19 @@ func (t *Task) appendCanonical(b []byte) []byte {
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(t.Priority), 10)
 	b = append(b, '\n')
+	if t.canon != nil {
+		// Finalize froze the structural body; reusing it makes hashing a
+		// patched taskset proportional to the number of *rebuilt* tasks,
+		// since ApplyPatch shares untouched Task pointers with the base.
+		return append(b, t.canon...)
+	}
+	return t.appendCanonBody(b)
+}
 
+// appendCanonBody appends the structural part of the canonical form: the
+// vertex, edge and critical-section lines. It is priority-independent, so
+// Task.Finalize can cache it before the owning taskset assigns priorities.
+func (t *Task) appendCanonBody(b []byte) []byte {
 	for _, v := range t.Vertices {
 		b = append(b, 'v')
 		b = append(b, '|')

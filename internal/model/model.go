@@ -69,6 +69,7 @@ type Task struct {
 	nReq        []int64 // N_{i,q} per resource
 	heads       []rt.VertexID
 	tails       []rt.VertexID
+	canon       []byte // canonical body (vertices/edges/CS), see hash.go
 }
 
 // NewTask returns an empty task with the given identity and timing.
@@ -220,6 +221,13 @@ func (t *Task) Finalize(numResources int) error {
 			t.tails = append(t.tails, rt.VertexID(x))
 		}
 	}
+
+	// Freeze the structural part of the canonical serialization now: the
+	// vertex/edge/CS body never changes after Finalize, so Taskset.Hash can
+	// reuse it instead of re-sorting request maps and edges on every call.
+	// (Priority may still be assigned by the owning taskset's Finalize, so
+	// the header line is not cached.)
+	t.canon = t.appendCanonBody(nil)
 
 	t.finalized = true
 	return nil

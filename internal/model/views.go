@@ -60,6 +60,7 @@ type ViewScratch struct {
 	states  [][]viewState
 	final   []viewState
 	zeroSig []int64
+	replay  []rt.Time // ViewPlan.Replay value slots
 
 	// sigs is the arena backing every signature copied during one call;
 	// sigOff is the bump pointer, reset per call. Growth allocates a fresh
@@ -131,6 +132,24 @@ func (t *Task) EnumerateViews(cap int) (views []PathView, ok bool) {
 //
 //schedlint:hotpath
 func (t *Task) EnumerateViewsScratch(cap int, s *ViewScratch) (views []PathView, ok bool) {
+	return t.enumerateViews(cap, s, nil)
+}
+
+// EnumerateViewsPlan is EnumerateViewsScratch that additionally compiles
+// the collapse structure into a heap-owned ViewPlan for later replay under
+// changed vertex WCETs. The returned views are identical to (and borrow
+// scratch exactly like) EnumerateViewsScratch's.
+func (t *Task) EnumerateViewsPlan(cap int, s *ViewScratch) (views []PathView, plan *ViewPlan, ok bool) {
+	plan = &ViewPlan{}
+	views, ok = t.enumerateViews(cap, s, plan)
+	if !ok {
+		return nil, nil, false
+	}
+	return views, plan, true
+}
+
+//schedlint:hotpath
+func (t *Task) enumerateViews(cap int, s *ViewScratch, rec *ViewPlan) (views []PathView, ok bool) {
 	t.mustFinal()
 	if cap > 0 && t.CountPaths() > int64(cap) {
 		return nil, false
@@ -181,26 +200,63 @@ func (t *Task) EnumerateViewsScratch(cap int, s *ViewScratch) (views []PathView,
 		//schedlint:ignore hotpath grow-only resize; a warmed scratch never re-enters this branch
 		s.states = append(s.states[:have], make([][]viewState, nv-have)...)
 	}
+	// When recording, every (vertex, class) pair gets a global value slot;
+	// slotBase[x] is vertex x's first slot. Recording allocates, but it only
+	// runs under the delta analyzer, never on the production path.
+	var slotBase []int32
+	var nextSlot int32
+	if rec != nil {
+		//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+		slotBase = make([]int32, nv)
+	}
 	for _, x := range t.topo {
 		m.begin(s.states[x][:0])
+		var seg *planSeg
+		if rec != nil {
+			slotBase[x] = nextSlot
+			//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+			rec.segs = append(rec.segs, planSeg{x: x})
+			seg = &rec.segs[len(rec.segs)-1]
+		}
 		if len(t.pred[x]) == 0 {
-			s.fold(m, x, na, s.zeroSig, s.nonCrit[x], 1)
+			j := s.fold(m, x, na, s.zeroSig, s.nonCrit[x], 1)
+			if seg != nil {
+				//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+				seg.ops = append(seg.ops, planOp{src: -1, dst: slotBase[x] + int32(j)})
+			}
 		} else {
 			for _, p := range t.pred[x] {
-				for _, st := range s.states[p] {
-					s.fold(m, x, na, st.sig, st.nonCrit+s.nonCrit[x], st.paths)
+				for i, st := range s.states[p] {
+					j := s.fold(m, x, na, st.sig, st.nonCrit+s.nonCrit[x], st.paths)
+					if seg != nil {
+						//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+						seg.ops = append(seg.ops, planOp{src: slotBase[p] + int32(i), dst: slotBase[x] + int32(j)})
+					}
 				}
 			}
 		}
 		s.states[x] = m.take()
+		if rec != nil {
+			nextSlot += int32(len(s.states[x]))
+		}
 	}
 
 	// Merge the tail classes into the final views. Length is recovered from
 	// the signature: L = C'(lambda) + sum over active q of sig_q * L_{i,q}.
 	m.begin(s.final[:0])
+	var fseg *planSeg
+	if rec != nil {
+		//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+		rec.segs = append(rec.segs, planSeg{x: -1})
+		fseg = &rec.segs[len(rec.segs)-1]
+	}
 	for _, tail := range t.tails {
-		for _, st := range s.states[tail] {
-			m.add(st.sig, st.nonCrit, st.paths)
+		for i, st := range s.states[tail] {
+			j := m.add(st.sig, st.nonCrit, st.paths)
+			if fseg != nil {
+				//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+				fseg.ops = append(fseg.ops, planOp{src: slotBase[tail] + int32(i), dst: int32(j)})
+			}
 		}
 	}
 	s.final = m.take()
@@ -212,6 +268,26 @@ func (t *Task) EnumerateViewsScratch(cap int, s *ViewScratch) (views []PathView,
 	s.nreq = sliceCap(s.nreq, len(final)*nr)
 	nreqFlat := s.nreq
 	clear(nreqFlat)
+	if rec != nil {
+		rec.nv = nv
+		rec.slots = int(nextSlot)
+		rec.nFinal = len(final)
+		rec.nr = nr
+		//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+		rec.nreq = make([]int64, len(final)*nr)
+		//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+		rec.csPart = make([]rt.Time, len(final))
+		//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+		rec.paths = make([]int64, len(final))
+		// Per-vertex critical-section work is WCET-independent; freezing it
+		// lets Replay derive non-critical WCETs without touching the
+		// request maps.
+		//schedlint:ignore hotpath plan recording runs only under the delta analyzer
+		rec.csw = make([]rt.Time, nv)
+		for x := range t.Vertices {
+			rec.csw[x] = t.Vertices[x].WCET - s.nonCrit[x]
+		}
+	}
 	for i, st := range final {
 		nreq := nreqFlat[i*nr : (i+1)*nr : (i+1)*nr]
 		length := st.nonCrit
@@ -220,13 +296,23 @@ func (t *Task) EnumerateViewsScratch(cap int, s *ViewScratch) (views []PathView,
 			length = rt.SatAdd(length, rt.SatMul(st.sig[j], t.CSLen[q]))
 		}
 		views[i] = PathView{NReq: nreq, Length: length, NonCrit: st.nonCrit, Paths: st.paths}
+		if rec != nil {
+			copy(rec.nreq[i*nr:(i+1)*nr], nreq)
+			var cs rt.Time
+			for j, q := range s.active {
+				cs = rt.SatAdd(cs, rt.SatMul(st.sig[j], t.CSLen[q]))
+			}
+			rec.csPart[i] = cs
+			rec.paths[i] = st.paths
+		}
 	}
 	return views, true
 }
 
 // fold extends one predecessor class by vertex x and hands it to the
-// merger. Signatures only copy (from the arena) when x issues requests.
-func (s *ViewScratch) fold(m *sigMerger, x rt.VertexID, na int, base []int64, nc rt.Time, paths int64) {
+// merger, returning the class index the contribution merged into.
+// Signatures only copy (from the arena) when x issues requests.
+func (s *ViewScratch) fold(m *sigMerger, x rt.VertexID, na int, base []int64, nc rt.Time, paths int64) int {
 	sig := base
 	if len(s.deltas[x]) > 0 {
 		sig = s.allocSig(na)
@@ -235,7 +321,7 @@ func (s *ViewScratch) fold(m *sigMerger, x rt.VertexID, na int, base []int64, nc
 			sig[d.slot] += d.n
 		}
 	}
-	m.add(sig, nc, paths)
+	return m.add(sig, nc, paths)
 }
 
 // CountViews returns the number of distinct request-vector signatures over
@@ -329,17 +415,20 @@ func (m *sigMerger) reindex() {
 	}
 }
 
-func (m *sigMerger) add(sig []int64, nonCrit rt.Time, paths int64) {
+// add folds one (signature, nonCrit, paths) triple in and returns the index
+// of the class it landed in (classes are only ever appended, so indices are
+// stable for the duration of a merge).
+func (m *sigMerger) add(sig []int64, nonCrit rt.Time, paths int64) int {
 	if !m.indexed {
 		for i := range m.out {
 			if sigEqual(m.out[i].sig, sig) {
 				m.merge(i, nonCrit, paths)
-				return
+				return i
 			}
 		}
 		if len(m.out) < linearMergeMax {
 			m.out = append(m.out, viewState{sig: sig, nonCrit: nonCrit, paths: paths})
-			return
+			return len(m.out) - 1
 		}
 		// Crossing the threshold: index everything seen so far.
 		m.reindex()
@@ -350,10 +439,11 @@ func (m *sigMerger) add(sig []int64, nonCrit rt.Time, paths int64) {
 	j := m.find(sig)
 	if e := m.table[j]; e != 0 {
 		m.merge(int(e-1), nonCrit, paths)
-		return
+		return int(e - 1)
 	}
 	m.table[j] = int32(len(m.out) + 1)
 	m.out = append(m.out, viewState{sig: sig, nonCrit: nonCrit, paths: paths})
+	return len(m.out) - 1
 }
 
 func (m *sigMerger) merge(i int, nonCrit rt.Time, paths int64) {
@@ -374,4 +464,107 @@ func sigEqual(a, b []int64) bool {
 		}
 	}
 	return true
+}
+
+// planOp is one max-fold of the recorded collapse DP: slot dst accumulates
+// slot src's value plus the segment vertex's non-critical WCET. src == -1
+// seeds a head-vertex class from the vertex alone; in the final segment
+// (planSeg.x == -1) dst indexes the final views and no WCET is added.
+type planOp struct{ src, dst int32 }
+
+// planSeg groups the recorded ops of one vertex, in topological order; the
+// trailing segment with x == -1 merges tail classes into the final views.
+type planSeg struct {
+	x   rt.VertexID
+	ops []planOp
+}
+
+// ViewPlan is the compiled structure of one task's signature-collapsing
+// view enumeration. Which class a path prefix folds into — and therefore
+// the whole plan — depends only on the DAG, the request vectors and the
+// active-resource set, never on vertex WCETs: WCETs enter the DP purely as
+// the weights being max-accumulated. Replay therefore re-derives the exact
+// EnumerateViews result for a WCET-edited variant of the task (same
+// signatures, same view order, same path counts) in one linear pass over
+// the recorded ops, skipping all signature hashing and merging.
+//
+// A plan is immutable after EnumerateViewsPlan returns and safe for
+// concurrent Replay calls through distinct scratches. It becomes invalid —
+// silently, so callers must gate on the change classification — as soon as
+// the task's vertex count, edges, request vectors or critical-section
+// lengths change.
+type ViewPlan struct {
+	nv     int // vertex count the plan was compiled for
+	slots  int // number of (vertex, class) value slots
+	nFinal int // number of final views
+	nr     int
+	segs   []planSeg
+	nreq   []int64   // nFinal x nr: view i's request vector (static)
+	csPart []rt.Time // per view: saturating sum_q NReq_q * L_{i,q} (static)
+	paths  []int64   // per view: collapsed concrete paths (static)
+	csw    []rt.Time // per vertex: critical-section work (static)
+}
+
+// NumViews returns the number of views the plan reproduces.
+func (p *ViewPlan) NumViews() int { return p.nFinal }
+
+// Replay recomputes the task's path views under its current vertex WCETs.
+// t must be structurally identical to the task the plan was compiled from
+// (same DAG, requests and CS lengths); only vertex WCETs may differ. The
+// returned views borrow the scratch and the plan exactly like
+// EnumerateViewsScratch's views borrow the scratch: valid until the next
+// enumeration or replay through s. Returns nil if t's vertex count does not
+// match the plan.
+func (p *ViewPlan) Replay(t *Task, s *ViewScratch) []PathView {
+	t.mustFinal()
+	if len(t.Vertices) != p.nv {
+		return nil
+	}
+	if s == nil {
+		s = &ViewScratch{}
+	}
+	vals := sliceCap(s.replay, p.slots+p.nFinal)
+	s.replay = vals
+	// Non-critical WCETs are non-negative (Finalize rejects critical
+	// sections exceeding the vertex WCET), so -1 is a safe "unwritten"
+	// floor for the max-accumulation.
+	for i := range vals {
+		vals[i] = -1
+	}
+	fin := vals[p.slots:]
+	for si := range p.segs {
+		seg := &p.segs[si]
+		if seg.x < 0 {
+			for _, op := range seg.ops {
+				if v := vals[op.src]; v > fin[op.dst] {
+					fin[op.dst] = v
+				}
+			}
+			continue
+		}
+		nc := t.Vertices[seg.x].WCET - p.csw[seg.x]
+		for _, op := range seg.ops {
+			v := nc
+			if op.src >= 0 {
+				// Plain addition, exactly like the recorded DP's
+				// st.nonCrit + s.nonCrit[x] fold.
+				v = vals[op.src] + nc
+			}
+			if v > vals[op.dst] {
+				vals[op.dst] = v
+			}
+		}
+	}
+	views := sliceCap(s.views, p.nFinal)
+	s.views = views
+	for i := 0; i < p.nFinal; i++ {
+		nonCrit := fin[i]
+		views[i] = PathView{
+			NReq:    p.nreq[i*p.nr : (i+1)*p.nr : (i+1)*p.nr],
+			Length:  rt.SatAdd(nonCrit, p.csPart[i]),
+			NonCrit: nonCrit,
+			Paths:   p.paths[i],
+		}
+	}
+	return views
 }

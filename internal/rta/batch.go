@@ -19,6 +19,17 @@ import "dpcpp/internal/rt"
 // diverged FixPoint: one diverged view makes the task unschedulable, so no
 // per-view results are needed.
 //
+// Warm starts: because each step function is monotone, iterating from ANY
+// start value at or below the least fixed point converges to exactly that
+// least fixed point — usually in far fewer waves. The incremental delta
+// analyzer exploits this by seeding xs[i] with max(cold start, retained
+// fixed point) when a patch can only grow the recurrence inputs (the old
+// least fixed point is then a lower bound on the new one). The caller owns
+// that bound: a seed ABOVE the least fixed point is silently absorbed into
+// a larger fixed point of the same recurrence (see
+// TestFixPointBatchWarmStart's overshoot example), so FixPointBatch cannot
+// detect it — never seed from state whose inputs may have shrunk.
+//
 //schedlint:hotpath
 func FixPointBatch(xs []rt.Time, limit rt.Time, done []bool, step func(i int, x rt.Time) rt.Time) bool {
 	done = done[:len(xs)]

@@ -102,3 +102,63 @@ func TestFixPointBatchLimit(t *testing.T) {
 		t.Fatal("batch with a diverging member reported converged")
 	}
 }
+
+// TestFixPointBatchWarmStart pins the warm-start contract the delta
+// analyzer relies on: seeding a monotone recurrence anywhere in
+// [cold start, least fixed point] converges to the identical least fixed
+// point, and convergence stays monotone (non-monotone steps are still
+// rejected). It also documents the hazard that makes the contract
+// one-sided: a seed above the least fixed point lands on a larger fixed
+// point with no error.
+func TestFixPointBatchWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		x0s, fns := batchRecurrences(rng, n)
+		limit := rt.Time(1 << 30)
+
+		cold := append([]rt.Time(nil), x0s...)
+		done := make([]bool, n)
+		if !FixPointBatch(cold, limit, done, func(i int, x rt.Time) rt.Time { return fns[i](x) }) {
+			continue
+		}
+		// Seed each recurrence at a random point between its cold start and
+		// its least fixed point (inclusive).
+		warm := make([]rt.Time, n)
+		for i := range warm {
+			warm[i] = x0s[i]
+			if span := cold[i] - x0s[i]; span > 0 {
+				warm[i] += rt.Time(rng.Int63n(int64(span) + 1))
+			}
+		}
+		if !FixPointBatch(warm, limit, done, func(i int, x rt.Time) rt.Time { return fns[i](x) }) {
+			t.Fatalf("trial %d: warm-started batch diverged", trial)
+		}
+		for i := range warm {
+			if warm[i] != cold[i] {
+				t.Fatalf("trial %d: warm start from <= lfp reached %d, cold reached %d",
+					trial, warm[i], cold[i])
+			}
+		}
+	}
+
+	// Non-monotone steps are still a detected caller bug under warm seeds.
+	xs := []rt.Time{10}
+	if FixPointBatch(xs, 1000, make([]bool, 1), func(i int, x rt.Time) rt.Time { return x - 1 }) {
+		t.Fatal("non-monotone step accepted")
+	}
+
+	// The documented overshoot: x -> 10*ceil(x/10) is fixed at every
+	// multiple of 10. From a cold start of 4 the least fixed point is 10,
+	// but seeding at 15 (> 10) settles on 20 — a perfectly valid larger
+	// fixed point, with no error to catch. This is why warm seeds must be
+	// provable lower bounds on the new least fixed point.
+	step := func(i int, x rt.Time) rt.Time { return 10 * rt.CeilDiv(x, 10) }
+	lfp := []rt.Time{4}
+	FixPointBatch(lfp, 1000, make([]bool, 1), step)
+	over := []rt.Time{15}
+	FixPointBatch(over, 1000, make([]bool, 1), step)
+	if lfp[0] != 10 || over[0] != 20 {
+		t.Fatalf("overshoot example: lfp=%d overshoot=%d (want 10 and 20)", lfp[0], over[0])
+	}
+}

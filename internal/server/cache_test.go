@@ -142,7 +142,7 @@ func TestResultCacheCapacityFloor(t *testing.T) {
 }
 
 func TestFlightGroupSequential(t *testing.T) {
-	var g flightGroup
+	var g flightGroup[*MethodResult]
 	ctx := context.Background()
 	calls := 0
 	v1, err, shared := g.do(ctx, "k", func(context.Context) (*MethodResult, error) {
@@ -163,7 +163,7 @@ func TestFlightGroupSequential(t *testing.T) {
 }
 
 func TestFlightGroupCoalesces(t *testing.T) {
-	var g flightGroup
+	var g flightGroup[*MethodResult]
 	const n = 8
 	started := make(chan struct{})
 	release := make(chan struct{})

@@ -47,7 +47,15 @@ type engine struct {
 	// penalty on a dead store — until a periodic probe succeeds. Nil (and
 	// permanently closed) without a store.
 	br     *store.Breaker
-	flight flightGroup
+	flight flightGroup[*MethodResult]
+	// deltaStates retains incremental analysis states (analysis.Delta) for
+	// recently analyzed tasksets, keyed exactly like the result cache minus
+	// the explain flag: <base hash>|<method>|pc|pl. A POST /v1/analyze/delta
+	// whose base is present answers what-if patches through ApplyTo in
+	// cache-hit territory; a miss falls back to a full base analysis that
+	// retains fresh state. Bounded like the result cache; eviction only
+	// costs the next delta request one full analysis.
+	deltaStates *lru[*analysis.Delta]
 	// slots bounds concurrently executing analyses to the worker count;
 	// queued counts admitted-but-unfinished jobs for backpressure.
 	slots  chan struct{}
@@ -83,6 +91,11 @@ type engine struct {
 	storeHits   atomic.Int64
 	storePuts   atomic.Int64
 	storeErrors atomic.Int64
+	// deltaHits counts delta requests served through a retained incremental
+	// state; deltaFallbacks those that had to run a full base analysis
+	// first (state missing or evicted).
+	deltaHits      atomic.Int64
+	deltaFallbacks atomic.Int64
 }
 
 // Metrics is the JSON body of GET /v1/metrics: monotonic counters plus
@@ -108,11 +121,17 @@ type Metrics struct {
 	// StoreState is the store circuit breaker's state (closed / open /
 	// half-open; empty without a store); StoreTrips counts how many times
 	// it has opened.
-	StoreState   string `json:"store_state,omitempty"`
-	StoreTrips   int64  `json:"store_trips"`
-	QueuedJobs   int64  `json:"queued_jobs"`
-	CacheEntries int64  `json:"cache_entries"`
-	Workers      int    `json:"workers"`
+	StoreState string `json:"store_state,omitempty"`
+	StoreTrips int64  `json:"store_trips"`
+	// DeltaHits counts POST /v1/analyze/delta method results served through
+	// a retained incremental state; DeltaFallbacks those that needed a full
+	// base analysis first; DeltaStates is the retained-state gauge.
+	DeltaHits      int64 `json:"delta_hits"`
+	DeltaFallbacks int64 `json:"delta_fallbacks"`
+	DeltaStates    int64 `json:"delta_states"`
+	QueuedJobs     int64 `json:"queued_jobs"`
+	CacheEntries   int64 `json:"cache_entries"`
+	Workers        int   `json:"workers"`
 	// Sweep-job gauges/counters (see jobs.go).
 	SweepsSubmitted int64 `json:"sweeps_submitted"`
 	SweepsCompleted int64 `json:"sweeps_completed"`
@@ -122,14 +141,15 @@ type Metrics struct {
 func newEngine(workers, cacheSize int, maxQueue int64, st *store.Store, br *store.Breaker) *engine {
 	workers = experiments.Workers(workers)
 	e := &engine{
-		workers:  workers,
-		maxQueue: maxQueue,
-		cache:    newLRU[*MethodResult](cacheSize),
-		st:       st,
-		br:       br,
-		slots:    make(chan struct{}, workers),
-		latency:  obs.NewHistogram(obs.DefaultLatencyBounds()),
-		stages:   newStageRecorder(),
+		workers:     workers,
+		maxQueue:    maxQueue,
+		cache:       newLRU[*MethodResult](cacheSize),
+		deltaStates: newLRU[*analysis.Delta](cacheSize),
+		st:          st,
+		br:          br,
+		slots:       make(chan struct{}, workers),
+		latency:     obs.NewHistogram(obs.DefaultLatencyBounds()),
+		stages:      newStageRecorder(),
 	}
 	e.scratch.New = func() any {
 		sc := analysis.NewScratch()
@@ -406,6 +426,9 @@ func (e *engine) snapshot() Metrics {
 		StoreErrors:      e.storeErrors.Load(),
 		StoreState:       e.br.State(),
 		StoreTrips:       e.br.Trips(),
+		DeltaHits:        e.deltaHits.Load(),
+		DeltaFallbacks:   e.deltaFallbacks.Load(),
+		DeltaStates:      e.deltaStates.entries(),
 		QueuedJobs:       e.queued.Load(),
 		CacheEntries:     e.cache.entries(),
 		Workers:          e.workers,

@@ -11,6 +11,11 @@ import (
 // cache key, N concurrent identical analyze requests cost exactly one
 // analysis — the acceptance invariant the coalescing test pins.
 //
+// The group is generic in its result type so the same primitive serves the
+// engine's method-result flights (full analyses and incremental delta
+// analyses share one group — and therefore one in-flight computation — per
+// patched-taskset cache key) and any future value-shaped work.
+//
 // Cancellation is per-caller, not per-computation: the computation runs on
 // its own goroutine under a flight-owned context, so a waiter whose
 // request context ends abandons the flight immediately — freeing its
@@ -24,14 +29,14 @@ import (
 // This is a minimal singleflight (the x/sync dependency is deliberately
 // avoided): no panic forwarding — fn must not panic, which engine.analyze
 // guarantees by validating tasksets before any flight starts.
-type flightGroup struct {
+type flightGroup[V any] struct {
 	mu sync.Mutex
-	m  map[string]*flightCall
+	m  map[string]*flightCall[V]
 }
 
-type flightCall struct {
+type flightCall[V any] struct {
 	done chan struct{}
-	val  *MethodResult
+	val  V
 	err  error
 	// waiters counts callers coalesced onto this execution (guarded by
 	// the group mutex); tests use it to prove all N callers overlapped.
@@ -47,13 +52,13 @@ type flightCall struct {
 // flight-owned context (see the type comment); each caller waits for the
 // result or its own ctx, whichever ends first. shared reports whether this
 // caller attached to an execution started by another goroutine.
-func (g *flightGroup) do(ctx context.Context, key string,
-	fn func(context.Context) (*MethodResult, error)) (val *MethodResult, err error, shared bool) {
+func (g *flightGroup[V]) do(ctx context.Context, key string,
+	fn func(context.Context) (V, error)) (val V, err error, shared bool) {
 
 	for {
 		g.mu.Lock()
 		if g.m == nil {
-			g.m = make(map[string]*flightCall)
+			g.m = make(map[string]*flightCall[V])
 		}
 		c, ok := g.m[key]
 		if ok {
@@ -63,7 +68,7 @@ func (g *flightGroup) do(ctx context.Context, key string,
 		} else {
 			//schedlint:ignore ctxflow detached by design: the flight outlives any one caller; the refcounted cancel tears it down when the last waiter leaves
 			fctx, cancel := context.WithCancel(context.Background())
-			c = &flightCall{done: make(chan struct{}), refs: 1, cancel: cancel}
+			c = &flightCall[V]{done: make(chan struct{}), refs: 1, cancel: cancel}
 			g.m[key] = c
 			go func() {
 				c.val, c.err = fn(fctx)
@@ -92,14 +97,15 @@ func (g *flightGroup) do(ctx context.Context, key string,
 				c.cancel()
 			}
 			g.mu.Unlock()
-			return nil, ctx.Err(), shared
+			var zero V
+			return zero, ctx.Err(), shared
 		}
 	}
 }
 
 // waiting reports how many callers are coalesced onto the key's in-flight
 // execution (0 when none is in flight).
-func (g *flightGroup) waiting(key string) int {
+func (g *flightGroup[V]) waiting(key string) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.m[key]; ok {

@@ -21,7 +21,7 @@ const DefaultTraceBuffer = 256
 // a scanner probing random paths lands in "other" instead of minting one
 // time series per probe.
 var obsEndpoints = []string{
-	"analyze", "batch", "grid", "sweeps", "metrics", "healthz", "traces", "other",
+	"analyze", "batch", "delta", "grid", "sweeps", "metrics", "healthz", "traces", "other",
 }
 
 // classifyEndpoint maps a request path onto the closed endpoint label set.
@@ -31,6 +31,8 @@ func classifyEndpoint(path string) string {
 		return "analyze"
 	case path == "/v1/analyze/batch":
 		return "batch"
+	case path == "/v1/analyze/delta":
+		return "delta"
 	case path == "/v1/grid":
 		return "grid"
 	case path == "/v1/sweeps" || strings.HasPrefix(path, "/v1/sweeps/"):
@@ -99,6 +101,10 @@ func (s *Server) registerMetrics() {
 		"Result-cache misses.", e.cacheMisses.Load)
 	r.Counter("schedd_coalesced_total",
 		"Requests coalesced onto another caller's in-flight analysis.", e.coalesced.Load)
+	r.Counter("schedd_delta_hits_total",
+		"Delta queries answered from retained incremental state.", e.deltaHits.Load)
+	r.Counter("schedd_delta_fallbacks_total",
+		"Delta queries that rebuilt base state with a full analysis.", e.deltaFallbacks.Load)
 	r.Counter("schedd_rejected_total",
 		"Requests rejected by admission control (429).", e.rejected.Load)
 	r.Counter("schedd_canceled_total",
@@ -131,6 +137,9 @@ func (s *Server) registerMetrics() {
 	r.Gauge("schedd_cache_entries",
 		"Entries in the in-memory result cache.",
 		func() float64 { return float64(e.cache.entries()) })
+	r.Gauge("schedd_delta_states",
+		"Retained incremental delta states (bounded LRU).",
+		func() float64 { return float64(e.deltaStates.entries()) })
 	r.Gauge("schedd_sweeps_active",
 		"Sweep jobs running or queued for the runner.",
 		func() float64 { return float64(j.active.Load() + int64(len(j.queue))) })

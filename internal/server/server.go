@@ -26,6 +26,8 @@
 //
 //	POST /v1/analyze        one taskset, one or all methods
 //	POST /v1/analyze/batch  many tasksets, shared options
+//	POST /v1/analyze/delta  what-if query: base hash + patch, answered
+//	                        incrementally from retained delta state
 //	GET  /v1/grid           streaming acceptance-curve points (NDJSON)
 //	POST /v1/sweeps         submit an asynchronous multi-scenario sweep job
 //	GET  /v1/sweeps         list sweep jobs
@@ -270,6 +272,7 @@ func New(cfg Config) (*Server, error) {
 	s.registerMetrics()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/analyze/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)

@@ -170,15 +170,84 @@ type SweepResults struct {
 	Scenarios []SweepScenarioResult `json:"scenarios"`
 }
 
+// DeltaRequest is the body of POST /v1/analyze/delta: a what-if query
+// against an already-analyzed base taskset, expressed as a patch. Base
+// names the base by its canonical hash (the hash POST /v1/analyze
+// returned); when the server still retains incremental state for it, the
+// query runs in cache-hit territory. BaseTaskset re-supplies the full base
+// so a server that has evicted (or never built) the state can rebuild it
+// — a one-time full-analysis cost, after which subsequent patches against
+// the same base, and against each response's patched hash, are
+// incremental. At least one of the two must be present; when both are,
+// they must agree.
+type DeltaRequest struct {
+	Base        string         `json:"base,omitempty"`
+	BaseTaskset *model.Taskset `json:"base_taskset,omitempty"`
+	// Patch is the edit to apply (model.Patch): a list of operations such
+	// as set_wcet, set_cslen, set_request, add_edge, set_period,
+	// add_task. Invalid patches get a structured 400 carrying the
+	// offending operation (errorResponse.Patch).
+	Patch model.Patch `json:"patch"`
+	// Methods selects the analyses; empty means both incremental methods
+	// (DPCP-p-EP and DPCP-p-EN). Other methods are rejected: only the
+	// DPCP-p variants retain incremental state.
+	Methods []string `json:"methods,omitempty"`
+	// PathCap and Placement must match the base analysis's options —
+	// retained state is keyed by (hash, method, options) exactly like the
+	// result cache.
+	PathCap   int    `json:"path_cap,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	// TimeoutMS bounds this request's analysis latency in milliseconds
+	// (see AnalyzeRequest.TimeoutMS).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DeltaInfo reports how one method's delta query was answered.
+type DeltaInfo struct {
+	// Incremental is true when the verdict was re-derived from retained
+	// delta state; false when it was served from the result cache/store or
+	// computed from scratch (unschedulable base, coalesced flight).
+	Incremental bool `json:"incremental"`
+	// Rounds / MatchedRounds count outer partition rounds and how many
+	// matched the retained assignment (mismatch forces a full fallback for
+	// that round).
+	Rounds        int `json:"rounds,omitempty"`
+	MatchedRounds int `json:"matched_rounds,omitempty"`
+	// Reused / Recomputed / WarmStarted count per-task response-time
+	// bounds carried over unchanged, re-derived, and re-derived from a
+	// warm-started fixed point.
+	Reused      int `json:"reused,omitempty"`
+	Recomputed  int `json:"recomputed,omitempty"`
+	WarmStarted int `json:"warm_started,omitempty"`
+	// EpsRowsSeeded / ViewsSeeded / ViewsReplayed count memo and view
+	// structures seeded from the retained state instead of rebuilt.
+	EpsRowsSeeded int `json:"eps_rows_seeded,omitempty"`
+	ViewsSeeded   int `json:"views_seeded,omitempty"`
+	ViewsReplayed int `json:"views_replayed,omitempty"`
+}
+
+// DeltaResponse is the body of a successful POST /v1/analyze/delta. Hash
+// is the patched taskset's canonical hash — the same value POST
+// /v1/analyze would return for the edited taskset, and the base to quote
+// for the next patch in a chain.
+type DeltaResponse struct {
+	BaseHash string                   `json:"base_hash"`
+	Hash     string                   `json:"hash"`
+	Results  map[string]*MethodResult `json:"results"`
+	Delta    map[string]*DeltaInfo    `json:"delta"`
+}
+
 // errorResponse is the structured body of every 4xx/5xx response. Timeout
 // marks a 503 caused by an analysis deadline (server -request-timeout or
 // the request's timeout_ms) so clients can distinguish "overloaded, back
 // off" from "this exact request overran its budget; an immediate retry may
-// hit the cache".
+// hit the cache". Patch carries the structured rejection of an invalid
+// /v1/analyze/delta patch (operation index, machine-readable code).
 type errorResponse struct {
-	Error   string `json:"error"`
-	Code    int    `json:"code"`
-	Timeout bool   `json:"timeout,omitempty"`
+	Error   string            `json:"error"`
+	Code    int               `json:"code"`
+	Timeout bool              `json:"timeout,omitempty"`
+	Patch   *model.PatchError `json:"patch,omitempty"`
 }
 
 // parseMethods validates and resolves a method-name list ([] = all five).
